@@ -1,0 +1,47 @@
+"""Ablation: the balance parameter beta (Definition 4.1; the paper uses 0.2)."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.stl import StableTreeLabelling
+from repro.experiments.reporting import format_table
+from repro.hierarchy.builder import HierarchyOptions
+from repro.workloads.datasets import build_dataset
+from repro.workloads.queries import random_query_pairs
+
+
+@pytest.mark.benchmark(group="ablation-beta")
+@pytest.mark.parametrize("beta", [0.1, 0.2, 0.4])
+def test_ablation_beta_construction(benchmark, bench_config, beta):
+    graph = build_dataset(bench_config.datasets[0], bench_config.scale, bench_config.seed)
+    index = benchmark.pedantic(
+        StableTreeLabelling.build,
+        args=(graph,),
+        kwargs={"options": HierarchyOptions(beta=beta, leaf_size=bench_config.leaf_size)},
+        rounds=1,
+        iterations=1,
+    )
+    assert index.labels.num_entries() > 0
+
+
+def test_ablation_beta_report(benchmark, bench_config):
+    graph = build_dataset(bench_config.datasets[0], bench_config.scale, bench_config.seed)
+    pairs = random_query_pairs(graph, 300, seed=1)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for beta in (0.1, 0.2, 0.3, 0.4, 0.5):
+        index = StableTreeLabelling.build(
+            graph.copy(), HierarchyOptions(beta=beta, leaf_size=bench_config.leaf_size)
+        )
+        sample = [index.query(s, t) for s, t in pairs[:50]]
+        rows.append(
+            {
+                "beta": beta,
+                "label entries": index.labels.num_entries(),
+                "tree height": index.hierarchy.height,
+                "construction [s]": f"{index.construction_seconds:.2f}",
+                "sample mean distance": f"{sum(sample) / len(sample):.1f}",
+            }
+        )
+    report(format_table(rows, title="Ablation: balance parameter beta"))
+    assert len(rows) == 5

@@ -1,0 +1,34 @@
+"""Ablation: geometric vs BFS-level bisection for the stable tree hierarchy."""
+
+from benchmarks.conftest import report
+from repro.core.stl import StableTreeLabelling
+from repro.experiments.reporting import format_table
+from repro.hierarchy.builder import HierarchyOptions
+from repro.partition.bisection import BFSBisector, GeometricBisector, HybridBisector
+from repro.workloads.datasets import build_dataset
+
+
+def test_ablation_partitioner_report(benchmark, bench_config):
+    graph = build_dataset(bench_config.datasets[0], bench_config.scale, bench_config.seed)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name, bisector in (
+        ("geometric", GeometricBisector()),
+        ("bfs-levels", BFSBisector()),
+        ("hybrid", HybridBisector()),
+    ):
+        options = HierarchyOptions(leaf_size=bench_config.leaf_size, bisector=bisector)
+        index = StableTreeLabelling.build(graph.copy(), options)
+        rows.append(
+            {
+                "bisector": name,
+                "label entries": index.labels.num_entries(),
+                "tree height": index.hierarchy.height,
+                "construction [s]": f"{index.construction_seconds:.2f}",
+            }
+        )
+    report(format_table(rows, title="Ablation: bisection strategy"))
+    entries = {row["bisector"]: row["label entries"] for row in rows}
+    # All strategies produce valid hierarchies; label sizes stay within a
+    # small factor of each other on road-like graphs.
+    assert max(entries.values()) <= 5 * min(entries.values())

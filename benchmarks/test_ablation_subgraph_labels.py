@@ -1,0 +1,71 @@
+"""Ablation: subgraph-restricted labels vs global-distance labels.
+
+The paper's "crucial ingredient" is that STL stores distances *within
+subgraphs*, so an update only touches labels whose subgraph contains the
+updated edge.  This ablation compares, per update, how many label entries are
+affected under STL (subgraph distances) versus under a global-distance
+labelling over the same hierarchy (HC2L-style).
+"""
+
+import math
+
+from benchmarks.conftest import report
+from repro.algorithms.dijkstra import dijkstra
+from repro.baselines.hc2l import HC2L
+from repro.core.stl import StableTreeLabelling
+from repro.experiments.reporting import format_table
+from repro.workloads.datasets import build_dataset
+from repro.workloads.updates import random_update_batch
+
+
+def _count_affected_global(hc2l, graph, update):
+    """Entries of a global-distance labelling invalidated by ``update``.
+
+    An entry (v, ancestor r) of a global labelling is affected iff the old
+    shortest path between v and r runs through the updated edge, i.e.
+    d(r,u) + w + d(u',v) == d(r,v) for one orientation of the edge.
+    """
+    hierarchy = hc2l.hierarchy
+    dist_u = dijkstra(graph, update.u)
+    dist_v = dijkstra(graph, update.v)
+    w = update.old_weight
+    affected = 0
+    for vertex in graph.vertices():
+        chain = hierarchy.ancestors(vertex)
+        for position, ancestor in enumerate(chain):
+            entry = hc2l.labels[vertex][position]
+            if math.isinf(entry):
+                continue
+            through_uv = dist_u[ancestor] + w + dist_v[vertex]
+            through_vu = dist_v[ancestor] + w + dist_u[vertex]
+            if min(through_uv, through_vu) == entry:
+                affected += 1
+    return affected
+
+
+def test_ablation_subgraph_vs_global_labels(benchmark, bench_config):
+    graph = build_dataset(bench_config.datasets[0], bench_config.scale, bench_config.seed)
+    stl = StableTreeLabelling.build(graph.copy(), bench_config.hierarchy_options())
+    hc2l = HC2L.build(graph.copy(), leaf_size=bench_config.leaf_size)
+    increases, _ = random_update_batch(graph, 10, seed=bench_config.seed)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = []
+    total_stl = total_global = 0
+    for update in increases:
+        global_affected = _count_affected_global(hc2l, graph, update)
+        stats = stl.apply_update(update)
+        stl_affected = stats.labels_changed
+        total_stl += stl_affected
+        total_global += global_affected
+        rows.append(
+            {
+                "edge": f"({update.u},{update.v})",
+                "STL entries touched": stl_affected,
+                "global-label entries affected": global_affected,
+            }
+        )
+    report(format_table(rows, title="Ablation: subgraph-restricted vs global-distance labels"))
+    # The subgraph restriction must not touch more entries than a global
+    # labelling would have to, and in aggregate it touches fewer.
+    assert total_stl <= total_global or total_global == 0

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 10 -- grouped maintenance vs full reconstruction."""
+
+from benchmarks.conftest import report
+from repro.experiments.figure10 import format_figure10, run_figure10
+from repro.experiments.harness import ExperimentConfig
+
+
+def test_figure10_report(benchmark, bench_config):
+    """Regenerate and print the Figure 10 comparison."""
+    config = ExperimentConfig(
+        datasets=bench_config.datasets[:1],
+        scale=bench_config.scale,
+        leaf_size=bench_config.leaf_size,
+    )
+    results = benchmark.pedantic(run_figure10, args=(config,), kwargs={"group_sizes": (10, 25, 50)}, rounds=1, iterations=1)
+    report(format_figure10(results))
+    for series in results:
+        # The paper's headline: maintaining beats rebuilding for moderate
+        # group sizes.  Check it for the smallest group, which is the regime
+        # incremental maintenance targets.
+        assert series.maintenance_seconds[0] <= series.reconstruction_seconds

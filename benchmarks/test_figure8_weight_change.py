@@ -1,0 +1,22 @@
+"""Benchmark: Figure 8 -- update time under varying weight-change factors."""
+
+from benchmarks.conftest import report
+from repro.experiments.figure8 import format_figure8, run_figure8
+from repro.experiments.harness import ExperimentConfig
+
+
+def test_figure8_report(benchmark, bench_config):
+    """Regenerate and print the Figure 8 series."""
+    config = ExperimentConfig(
+        datasets=bench_config.datasets[:1],
+        scale=bench_config.scale,
+        updates_per_batch=15,
+        leaf_size=bench_config.leaf_size,
+    )
+    results = benchmark.pedantic(run_figure8, args=(config,), kwargs={"num_factors": 4}, rounds=1, iterations=1)
+    report(format_figure8(results))
+    for series in results:
+        assert series.factors == [2.0, 3.0, 4.0, 5.0]
+        # STL decrease stays clearly below IncH2H decrease at every factor.
+        for stl_dec, inch2h_dec in zip(series.series_ms["STL-P-"], series.series_ms["IncH2H-"]):
+            assert stl_dec <= inch2h_dec

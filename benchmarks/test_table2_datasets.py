@@ -1,0 +1,22 @@
+"""Benchmark: Table 2 -- dataset construction and summary."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments.table2 import format_table2, run_table2
+from repro.workloads.datasets import build_dataset
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_dataset_generation(benchmark, bench_config):
+    """Time the generation of the first configured dataset analogue."""
+    name = bench_config.datasets[0]
+    graph = benchmark(build_dataset, name, bench_config.scale, bench_config.seed)
+    assert graph.num_vertices > 0
+
+
+def test_table2_report(benchmark, bench_config):
+    """Regenerate and print the Table 2 analogue."""
+    rows = benchmark.pedantic(run_table2, args=(bench_config,), rounds=1, iterations=1)
+    report(format_table2(rows))
+    assert len(rows) == len(bench_config.datasets)

@@ -1,0 +1,55 @@
+"""Benchmark: Table 4 -- labelling size, construction time, entries, height."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.baselines.hc2l import HC2L
+from repro.baselines.inch2h import IncH2H
+from repro.core.stl import StableTreeLabelling
+from repro.experiments.table4 import format_table4, run_table4
+from repro.workloads.datasets import build_dataset
+
+
+@pytest.fixture(scope="module")
+def construction_graph(bench_config):
+    return build_dataset(bench_config.datasets[0], bench_config.scale, bench_config.seed)
+
+
+@pytest.mark.benchmark(group="table4-construction")
+def test_table4_stl_construction(benchmark, construction_graph, bench_config):
+    index = benchmark.pedantic(
+        StableTreeLabelling.build,
+        args=(construction_graph,),
+        kwargs={"options": bench_config.hierarchy_options()},
+        rounds=2,
+        iterations=1,
+    )
+    assert index.labels.num_entries() > 0
+
+
+@pytest.mark.benchmark(group="table4-construction")
+def test_table4_hc2l_construction(benchmark, construction_graph):
+    index = benchmark.pedantic(HC2L.build, args=(construction_graph,), rounds=2, iterations=1)
+    assert index.num_label_entries() > 0
+
+
+@pytest.mark.benchmark(group="table4-construction")
+def test_table4_inch2h_construction(benchmark, construction_graph):
+    index = benchmark.pedantic(IncH2H.build, args=(construction_graph,), rounds=2, iterations=1)
+    assert index.num_label_entries() > 0
+
+
+def test_table4_report(benchmark, bench_config):
+    """Regenerate and print the Table 4 analogue, checking the paper's ordering."""
+    rows = benchmark.pedantic(run_table4, args=(bench_config,), rounds=1, iterations=1)
+    report(format_table4(rows))
+    for row in rows:
+        stats = row.stats
+        # STL's labelling is the smallest; at laptop scale the entry counts of
+        # STL and IncH2H are close, so a small tolerance absorbs noise.
+        assert stats["STL"].num_label_entries <= 1.2 * stats["IncH2H"].num_label_entries
+        assert stats["STL"].bytes_total < stats["IncH2H"].bytes_total
+        assert stats["STL"].bytes_total <= stats["HC2L"].bytes_total
+        assert stats["STL"].tree_height <= 1.3 * stats["IncH2H"].tree_height
+        # IncH2H's auxiliary data makes it larger than DTDHL.
+        assert stats["IncH2H"].bytes_total > stats["DTDHL"].bytes_total

@@ -1,0 +1,54 @@
+"""Benchmark: Table 5 -- query time over random pairs."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.baselines.dijkstra_oracle import DijkstraOracle
+from repro.baselines.hc2l import HC2L
+from repro.baselines.inch2h import IncH2H
+from repro.core.stl import StableTreeLabelling
+from repro.experiments.table5 import format_table5, run_table5
+from repro.workloads.datasets import build_dataset
+from repro.workloads.queries import random_query_pairs
+
+
+@pytest.fixture(scope="module")
+def query_setup(bench_config):
+    graph = build_dataset(bench_config.datasets[0], bench_config.scale, bench_config.seed)
+    pairs = random_query_pairs(graph, 1_000, seed=bench_config.seed)
+    indexes = {
+        "STL": StableTreeLabelling.build(graph.copy(), bench_config.hierarchy_options()),
+        "HC2L": HC2L.build(graph.copy()),
+        "IncH2H": IncH2H.build(graph.copy()),
+        "Dijkstra": DijkstraOracle.build(graph.copy()),
+    }
+    return indexes, pairs
+
+
+def _run_queries(index, pairs):
+    query = index.query
+    for s, t in pairs:
+        query(s, t)
+
+
+@pytest.mark.benchmark(group="table5-query")
+@pytest.mark.parametrize("method", ["STL", "HC2L", "IncH2H"])
+def test_table5_query_batch(benchmark, query_setup, method):
+    """1,000 random queries per method (labelled methods)."""
+    indexes, pairs = query_setup
+    benchmark.pedantic(_run_queries, args=(indexes[method], pairs), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="table5-query")
+def test_table5_dijkstra_baseline(benchmark, query_setup):
+    """The index-free baseline, on a small slice (it is orders of magnitude slower)."""
+    indexes, pairs = query_setup
+    benchmark.pedantic(_run_queries, args=(indexes["Dijkstra"], pairs[:20]), rounds=1, iterations=1)
+
+
+def test_table5_report(benchmark, bench_config):
+    """Regenerate and print the Table 5 analogue."""
+    rows = benchmark.pedantic(run_table5, args=(bench_config,), rounds=1, iterations=1)
+    report(format_table5(rows))
+    for row in rows:
+        assert all(value > 0 for value in row.query_us.values())

@@ -1,0 +1,45 @@
+"""Quickstart: build a Stable Tree Labelling, query it, keep it fresh.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import StableTreeLabelling, generators
+
+
+def main() -> None:
+    # 1. A synthetic road network: a 32x32 city grid with travel-time weights.
+    graph = generators.grid_road_network(32, 32, seed=7)
+    print(f"road network: {graph.num_vertices} intersections, {graph.num_edges} road segments")
+
+    # 2. Build the index (stable tree hierarchy + subgraph-distance labels).
+    stl = StableTreeLabelling.build(graph)
+    stats = stl.stats()
+    print(
+        f"index built in {stats.construction_seconds:.2f}s: "
+        f"{stats.num_label_entries} label entries, tree height {stats.tree_height}"
+    )
+
+    # 3. Distance queries are simple label scans.
+    source, target = 0, graph.num_vertices - 1
+    print(f"distance({source}, {target}) = {stl.query(source, target)}")
+    distance, hub = stl.query_with_hub(source, target)
+    print(f"  answered via common ancestor at label index {hub}")
+
+    # 4. Traffic changes: congestion doubles a road's travel time...
+    u, v, weight = next(iter(graph.edges()))
+    stl.increase_edge(u, v, weight * 2)
+    print(f"after congestion on ({u},{v}): distance = {stl.query(source, target)}")
+
+    # ...and later clears again.
+    stl.decrease_edge(u, v, weight)
+    print(f"after it clears:              distance = {stl.query(source, target)}")
+
+    # 5. Road closures are weight-infinity updates.
+    stl.remove_edge(u, v)
+    print(f"after closing ({u},{v}):       distance = {stl.query(source, target)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Runs the experiment drivers for Tables 2-5 and Figures 8-10 on the scaled
+synthetic dataset analogues and prints the resulting exhibits.  Use the
+environment variables ``REPRO_FULL_DATASETS=1`` and ``REPRO_SCALE`` (see
+DESIGN.md) to trade runtime for fidelity.
+
+Run with::
+
+    python examples/reproduce_paper.py            # quick pass (two datasets)
+    python examples/reproduce_paper.py --full     # all configured datasets
+"""
+
+import argparse
+import os
+
+from repro.experiments.harness import ExperimentConfig, default_dataset_names
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+from repro.experiments.table4 import format_table4, run_table4
+from repro.experiments.table5 import format_table5, run_table5
+from repro.experiments.figure8 import format_figure8, run_figure8
+from repro.experiments.figure9 import format_figure9, run_figure9
+from repro.experiments.figure10 import format_figure10, run_figure10
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="run every configured dataset")
+    parser.add_argument("--scale", type=float, default=float(os.environ.get("REPRO_SCALE", 0.5)))
+    args = parser.parse_args()
+
+    datasets = default_dataset_names() if args.full else default_dataset_names()[:2]
+    config = ExperimentConfig(
+        datasets=datasets,
+        scale=args.scale,
+        num_update_batches=2,
+        updates_per_batch=20,
+        num_query_pairs=2_000,
+        query_sets=10,
+        pairs_per_query_set=40,
+    )
+    print(f"datasets: {', '.join(datasets)} (scale {args.scale})\n")
+
+    print(format_table2(run_table2(config)), "\n")
+    print(format_table4(run_table4(config)), "\n")
+    print(format_table5(run_table5(config)), "\n")
+    print(format_table3(run_table3(config)), "\n")
+    print(format_figure8(run_figure8(config, num_factors=4)), "\n")
+    print(format_figure9(run_figure9(config)), "\n")
+    print(format_figure10(run_figure10(config, group_sizes=(25, 50, 100))), "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Stable Tree Labelling (STL) for dynamic road networks.
+
+This package is a full reproduction of
+
+    Koehler, Farhan & Wang.
+    "Stable Tree Labelling for Accelerating Distance Queries on Dynamic Road
+    Networks", EDBT 2025.
+
+It provides:
+
+* ``repro.graph`` -- weighted dynamic graphs, synthetic road-network
+  generators and DIMACS I/O,
+* ``repro.algorithms`` -- Dijkstra-family searches used as ground truth,
+* ``repro.partition`` / ``repro.hierarchy`` -- balanced vertex-separator
+  partitioning and the stable tree hierarchy,
+* ``repro.core`` -- the paper's contribution: STL construction, queries and
+  the Label Search / Pareto Search maintenance algorithms,
+* ``repro.baselines`` -- CH, H2H, IncH2H, DTDHL and HC2L competitors,
+* ``repro.workloads`` / ``repro.experiments`` -- workload generators and the
+  drivers that regenerate every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import StableTreeLabelling, generators
+
+    graph = generators.grid_road_network(32, 32, seed=7)
+    stl = StableTreeLabelling.build(graph)
+    print(stl.query(0, graph.num_vertices - 1))
+    stl.decrease_edge(0, 1, new_weight=1.0)
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.updates import EdgeUpdate, UpdateBatch
+from repro.graph import generators
+from repro.core.stl import StableTreeLabelling
+from repro.hierarchy.builder import HierarchyOptions
+
+__all__ = [
+    "Graph",
+    "EdgeUpdate",
+    "UpdateBatch",
+    "generators",
+    "StableTreeLabelling",
+    "HierarchyOptions",
+    "__version__",
+]
+
+__version__ = "1.0.0"

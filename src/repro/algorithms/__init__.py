@@ -1,0 +1,26 @@
+"""Search-based shortest-path algorithms (ground truth and query baselines)."""
+
+from repro.algorithms.dijkstra import (
+    dijkstra,
+    dijkstra_distance,
+    dijkstra_rank_restricted,
+    dijkstra_with_target,
+)
+from repro.algorithms.bidirectional import bidirectional_dijkstra
+from repro.algorithms.bfs import bfs_distances, bfs_order, double_sweep_pseudo_peripheral
+from repro.algorithms.astar import astar_distance
+from repro.algorithms.paths import reconstruct_path, path_weight
+
+__all__ = [
+    "dijkstra",
+    "dijkstra_distance",
+    "dijkstra_rank_restricted",
+    "dijkstra_with_target",
+    "bidirectional_dijkstra",
+    "bfs_distances",
+    "bfs_order",
+    "double_sweep_pseudo_peripheral",
+    "astar_distance",
+    "reconstruct_path",
+    "path_weight",
+]

@@ -1,0 +1,55 @@
+"""A* search with a Euclidean lower-bound heuristic.
+
+Included as a second search-based point of comparison for the examples (route
+planning demos); requires vertex coordinates and weights that are at least the
+Euclidean distance scaled by ``speed`` (travel-time semantics).
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+
+from repro.graph.graph import Graph
+from repro.utils.errors import GraphError
+
+UNREACHABLE = math.inf
+
+
+def astar_distance(graph: Graph, source: int, target: int, max_speed: float = 1.0) -> float:
+    """Shortest-path distance using A* with a Euclidean / max-speed heuristic.
+
+    ``max_speed`` must be an upper bound on travel speed so that the heuristic
+    ``euclidean(v, target) / max_speed`` never overestimates the remaining
+    travel time; with the default generators a value of 1.0 is admissible only
+    for unit-speed graphs, so callers should pass the generator's top speed.
+    """
+    if graph.coordinates is None:
+        raise GraphError("A* requires vertex coordinates")
+    if source == target:
+        return 0.0
+    coords = graph.coordinates
+    tx, ty = coords[target]
+
+    def heuristic(v: int) -> float:
+        x, y = coords[v]
+        return math.hypot(x - tx, y - ty) / max_speed
+
+    dist: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, int]] = [(heuristic(source), source)]
+    closed: set[int] = set()
+    while heap:
+        _, v = heappop(heap)
+        if v == target:
+            return dist[v]
+        if v in closed:
+            continue
+        closed.add(v)
+        for nbr, weight in graph.neighbors(v):
+            if math.isinf(weight) or nbr in closed:
+                continue
+            nd = dist[v] + weight
+            if nd < dist.get(nbr, UNREACHABLE):
+                dist[nbr] = nd
+                heappush(heap, (nd + heuristic(nbr), nbr))
+    return UNREACHABLE

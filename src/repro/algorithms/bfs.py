@@ -1,0 +1,72 @@
+"""Breadth-first utilities used by the partitioner and the generators."""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.graph.graph import Graph
+
+
+def bfs_distances(
+    graph: Graph, source: int, allowed: Iterable[int] | None = None
+) -> dict[int, int]:
+    """Hop distances from ``source`` (optionally restricted to ``allowed`` vertices)."""
+    allowed_set = None if allowed is None else set(allowed)
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for nbr, weight in graph.neighbors(v):
+            if math.isinf(weight):
+                continue
+            if allowed_set is not None and nbr not in allowed_set:
+                continue
+            if nbr not in dist:
+                dist[nbr] = dist[v] + 1
+                queue.append(nbr)
+    return dist
+
+
+def bfs_order(graph: Graph, source: int, allowed: Iterable[int] | None = None) -> list[int]:
+    """Vertices in BFS visiting order from ``source``."""
+    allowed_set = None if allowed is None else set(allowed)
+    seen = {source}
+    order = [source]
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for nbr, weight in graph.neighbors(v):
+            if math.isinf(weight):
+                continue
+            if allowed_set is not None and nbr not in allowed_set:
+                continue
+            if nbr not in seen:
+                seen.add(nbr)
+                order.append(nbr)
+                queue.append(nbr)
+    return order
+
+
+def double_sweep_pseudo_peripheral(
+    graph: Graph, vertices: Sequence[int], sweeps: int = 2
+) -> tuple[int, int]:
+    """Approximate a diameter pair of the subgraph on ``vertices`` by BFS sweeps.
+
+    The BFS-level bisector grows level sets from a pseudo-peripheral vertex; a
+    couple of sweeps from an arbitrary start give endpoints far apart enough
+    for balanced level cuts on road-like graphs.
+    """
+    if not vertices:
+        raise ValueError("vertices must be non-empty")
+    allowed = set(vertices)
+    start = vertices[0]
+    far = start
+    for _ in range(max(1, sweeps)):
+        dist = bfs_distances(graph, far, allowed)
+        far_next = max(dist, key=lambda v: (dist[v], v))
+        if far_next == far:
+            break
+        start, far = far, far_next
+    return start, far

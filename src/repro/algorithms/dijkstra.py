@@ -1,0 +1,148 @@
+"""Dijkstra's algorithm and the restricted variants used by label construction.
+
+Three variants matter for this library:
+
+* :func:`dijkstra` -- full single-source search (ground truth for tests and
+  the construction of H2H-style baselines),
+* :func:`dijkstra_with_target` -- single-pair search with early termination
+  (the classical query baseline),
+* :func:`dijkstra_rank_restricted` -- the search used to build STL labels: it
+  only expands vertices whose label index (rank) is **at least** that of the
+  source, which by the separator property of the stable tree hierarchy keeps
+  the search inside the subgraph ``G[Desc(source)]`` (Remark 1 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Callable, Sequence
+
+from repro.graph.graph import Graph
+
+#: Distance value used for unreachable vertices.
+UNREACHABLE = math.inf
+
+
+def dijkstra(
+    graph: Graph,
+    source: int,
+    with_parents: bool = False,
+) -> list[float] | tuple[list[float], list[int]]:
+    """Single-source shortest-path distances from ``source``.
+
+    Returns a dense distance list (``math.inf`` for unreachable vertices) and,
+    if ``with_parents`` is set, a parent list for path reconstruction
+    (``-1`` for the source and unreachable vertices).
+    """
+    n = graph.num_vertices
+    dist: list[float] = [UNREACHABLE] * n
+    parent: list[int] = [-1] * n
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    adjacency = graph.adjacency()
+    while heap:
+        d, v = heappop(heap)
+        if d > dist[v]:
+            continue
+        for nbr, weight in adjacency[v]:
+            if math.isinf(weight):
+                continue
+            nd = d + weight
+            if nd < dist[nbr]:
+                dist[nbr] = nd
+                parent[nbr] = v
+                heappush(heap, (nd, nbr))
+    if with_parents:
+        return dist, parent
+    return dist
+
+
+def dijkstra_distance(graph: Graph, source: int, target: int) -> float:
+    """Shortest-path distance from ``source`` to ``target`` (``inf`` if disconnected)."""
+    return dijkstra_with_target(graph, source, target)
+
+
+def dijkstra_with_target(graph: Graph, source: int, target: int) -> float:
+    """Single-pair Dijkstra with early termination at ``target``."""
+    if source == target:
+        return 0.0
+    n = graph.num_vertices
+    dist: list[float] = [UNREACHABLE] * n
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    adjacency = graph.adjacency()
+    while heap:
+        d, v = heappop(heap)
+        if v == target:
+            return d
+        if d > dist[v]:
+            continue
+        for nbr, weight in adjacency[v]:
+            if math.isinf(weight):
+                continue
+            nd = d + weight
+            if nd < dist[nbr]:
+                dist[nbr] = nd
+                heappush(heap, (nd, nbr))
+    return UNREACHABLE
+
+
+def dijkstra_rank_restricted(
+    graph: Graph,
+    source: int,
+    rank: Sequence[int],
+    min_rank: int | None = None,
+) -> dict[int, float]:
+    """Dijkstra from ``source`` expanding only vertices with rank >= ``min_rank``.
+
+    This is the construction search of STL (Remark 1): with ``rank`` being the
+    label index tau and ``min_rank = rank[source]``, the search never leaves
+    ``G[Desc(source)]`` because every path escaping the source's subtree must
+    pass through a separator vertex of strictly smaller rank.
+
+    Returns a sparse ``{vertex: distance}`` dict over the vertices reached.
+    """
+    threshold = rank[source] if min_rank is None else min_rank
+    dist: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    adjacency = graph.adjacency()
+    while heap:
+        d, v = heappop(heap)
+        if d > dist.get(v, UNREACHABLE):
+            continue
+        for nbr, weight in adjacency[v]:
+            if math.isinf(weight) or rank[nbr] < threshold:
+                continue
+            nd = d + weight
+            if nd < dist.get(nbr, UNREACHABLE):
+                dist[nbr] = nd
+                heappush(heap, (nd, nbr))
+    return dist
+
+
+def dijkstra_subset(
+    graph: Graph,
+    source: int,
+    allowed: Callable[[int], bool],
+) -> dict[int, float]:
+    """Dijkstra restricted to vertices for which ``allowed(vertex)`` is true.
+
+    ``source`` is always allowed.  Used by the baselines and by tests that
+    need subgraph distances without materialising induced subgraphs.
+    """
+    dist: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    adjacency = graph.adjacency()
+    while heap:
+        d, v = heappop(heap)
+        if d > dist.get(v, UNREACHABLE):
+            continue
+        for nbr, weight in adjacency[v]:
+            if math.isinf(weight) or (nbr != source and not allowed(nbr)):
+                continue
+            nd = d + weight
+            if nd < dist.get(nbr, UNREACHABLE):
+                dist[nbr] = nd
+                heappush(heap, (nd, nbr))
+    return dist

@@ -1,0 +1,47 @@
+"""Path reconstruction and validation helpers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graph.graph import Graph
+from repro.utils.errors import GraphError
+
+
+def reconstruct_path(parent: Sequence[int], source: int, target: int) -> list[int]:
+    """Rebuild the path ``source -> target`` from a Dijkstra parent array.
+
+    Returns an empty list when ``target`` is unreachable.
+    """
+    if source == target:
+        return [source]
+    if parent[target] == -1:
+        return []
+    path = [target]
+    v = target
+    while v != source:
+        v = parent[v]
+        if v == -1:
+            return []
+        path.append(v)
+        if len(path) > len(parent):
+            raise GraphError("parent array contains a cycle")
+    path.reverse()
+    return path
+
+
+def path_weight(graph: Graph, path: Sequence[int]) -> float:
+    """Total weight of a vertex path; raises if consecutive vertices are not adjacent."""
+    if len(path) < 2:
+        return 0.0
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        total += graph.weight(u, v)
+    return total
+
+
+def is_valid_path(graph: Graph, path: Sequence[int]) -> bool:
+    """Whether consecutive vertices of ``path`` are connected by edges."""
+    if len(path) < 2:
+        return True
+    return all(graph.has_edge(u, v) for u, v in zip(path, path[1:]))

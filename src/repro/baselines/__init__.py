@@ -1,0 +1,32 @@
+"""Competitor methods reimplemented from their published descriptions.
+
+* :mod:`repro.baselines.dijkstra_oracle` -- index-free bidirectional Dijkstra,
+* :mod:`repro.baselines.contraction` -- CH / CH-W contraction hierarchies,
+* :mod:`repro.baselines.tree_decomposition` -- the tree decomposition induced
+  by a CH-W contraction order,
+* :mod:`repro.baselines.h2h` -- H2H-Index (Ouyang et al., SIGMOD 2018),
+* :mod:`repro.baselines.inch2h` -- IncH2H dynamic maintenance (Zhang & Yu,
+  SIGMOD 2022),
+* :mod:`repro.baselines.dtdhl` -- DTDHL dynamic maintenance (Zhang et al.,
+  ICDE 2021),
+* :mod:`repro.baselines.hc2l` -- HC2L static labelling (Farhan et al.,
+  SIGMOD 2024).
+"""
+
+from repro.baselines.dijkstra_oracle import DijkstraOracle
+from repro.baselines.contraction import ContractionHierarchy
+from repro.baselines.tree_decomposition import TreeDecomposition
+from repro.baselines.h2h import H2HIndex
+from repro.baselines.inch2h import IncH2H
+from repro.baselines.dtdhl import DTDHL
+from repro.baselines.hc2l import HC2L
+
+__all__ = [
+    "DijkstraOracle",
+    "ContractionHierarchy",
+    "TreeDecomposition",
+    "H2HIndex",
+    "IncH2H",
+    "DTDHL",
+    "HC2L",
+]

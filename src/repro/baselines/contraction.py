@@ -1,0 +1,221 @@
+"""Contraction hierarchies: CH (with witness search) and CH-W (without).
+
+CH-W is the shortcut structure underlying H2H / IncH2H / DTDHL: vertices are
+contracted in a total order (lowest first) and, when a vertex is contracted,
+a shortcut is inserted between **every** pair of its not-yet-contracted
+neighbours -- no witness search.  The resulting "shortcut graph" ``G_S``
+together with the contraction order induces the tree decomposition those
+methods label over.
+
+The classic CH (Geisberger et al.) adds a local witness search so that only
+necessary shortcuts are kept; it is provided for the search-based comparison
+and the examples, and is not used by the labelling baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+
+from repro.algorithms.dijkstra import UNREACHABLE
+from repro.graph.graph import Graph
+from repro.utils.errors import GraphError
+
+
+class ContractionHierarchy:
+    """A contraction hierarchy over a road network.
+
+    Attributes
+    ----------
+    order:
+        ``order[i]`` is the i-th contracted vertex (lowest first).
+    rank:
+        ``rank[v]`` is the contraction position of ``v``.
+    shortcuts:
+        ``shortcuts[u][v]`` is the weight of the (original or shortcut) edge
+        between ``u`` and ``v`` in the shortcut graph ``G_S``; symmetric.
+    higher_neighbors:
+        For each vertex, its neighbours in ``G_S`` with larger rank -- these
+        form the bag of the vertex in the induced tree decomposition.
+    """
+
+    def __init__(self, graph: Graph, witness_search: bool = False, hop_limit: int = 16):
+        self.graph = graph
+        self.witness_search = witness_search
+        self.hop_limit = hop_limit
+        self.order: list[int] = []
+        self.rank: list[int] = [-1] * graph.num_vertices
+        self.shortcuts: list[dict[int, float]] = [dict() for _ in range(graph.num_vertices)]
+        self.num_added_shortcuts = 0
+        self._contract_all()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def _contract_all(self) -> None:
+        graph = self.graph
+        n = graph.num_vertices
+        # Working adjacency: starts as the original graph and accumulates
+        # shortcuts among not-yet-contracted vertices.
+        work: list[dict[int, float]] = [dict() for _ in range(n)]
+        for u, v, w in graph.edges():
+            if math.isinf(w):
+                continue
+            work[u][v] = min(w, work[u].get(v, UNREACHABLE))
+            work[v][u] = min(w, work[v].get(u, UNREACHABLE))
+            self.shortcuts[u][v] = work[u][v]
+            self.shortcuts[v][u] = work[v][u]
+
+        contracted = [False] * n
+
+        def priority(v: int) -> tuple[int, int, int]:
+            degree = len(work[v])
+            # Edge-difference heuristic: shortcuts added minus edges removed.
+            added = degree * (degree - 1) // 2
+            return (added - degree, degree, v)
+
+        heap: list[tuple[tuple[int, int, int], int]] = [(priority(v), v) for v in range(n)]
+        heap.sort()
+        import heapq
+
+        heapq.heapify(heap)
+
+        while heap:
+            prio, v = heapq.heappop(heap)
+            if contracted[v]:
+                continue
+            # Lazy priority update: re-push if the stored priority is stale.
+            current = priority(v)
+            if current != prio:
+                heapq.heappush(heap, (current, v))
+                continue
+            self._contract_vertex(v, work, contracted)
+
+        if len(self.order) != n:
+            raise GraphError("contraction did not cover every vertex")
+
+    def _contract_vertex(
+        self, v: int, work: list[dict[int, float]], contracted: list[bool]
+    ) -> None:
+        self.rank[v] = len(self.order)
+        self.order.append(v)
+        contracted[v] = True
+        neighbors = [(u, w) for u, w in work[v].items() if not contracted[u]]
+
+        for i, (u, wu) in enumerate(neighbors):
+            for x, wx in neighbors[i + 1 :]:
+                shortcut_weight = wu + wx
+                if self.witness_search and self._has_witness(work, contracted, u, x, v, shortcut_weight):
+                    continue
+                existing = work[u].get(x, UNREACHABLE)
+                new_weight = min(existing, shortcut_weight)
+                if new_weight < existing:
+                    self.num_added_shortcuts += 1
+                work[u][x] = new_weight
+                work[x][u] = new_weight
+                previous = self.shortcuts[u].get(x, UNREACHABLE)
+                if new_weight < previous:
+                    self.shortcuts[u][x] = new_weight
+                    self.shortcuts[x][u] = new_weight
+
+        for u, _ in neighbors:
+            work[u].pop(v, None)
+        work[v].clear()
+
+    def _has_witness(
+        self,
+        work: list[dict[int, float]],
+        contracted: list[bool],
+        source: int,
+        target: int,
+        skip: int,
+        limit: float,
+    ) -> bool:
+        """Local Dijkstra proving a path <= ``limit`` avoiding ``skip`` exists."""
+        dist = {source: 0.0}
+        heap = [(0.0, source)]
+        hops = {source: 0}
+        while heap:
+            d, x = heappop(heap)
+            if d > limit:
+                return False
+            if x == target:
+                return d <= limit
+            if d > dist.get(x, UNREACHABLE):
+                continue
+            if hops[x] >= self.hop_limit:
+                continue
+            for nbr, w in work[x].items():
+                if nbr == skip or contracted[nbr]:
+                    continue
+                nd = d + w
+                if nd <= limit and nd < dist.get(nbr, UNREACHABLE):
+                    dist[nbr] = nd
+                    hops[nbr] = hops[x] + 1
+                    heappush(heap, (nd, nbr))
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Derived structures
+    # ------------------------------------------------------------------ #
+
+    def higher_neighbors(self, v: int) -> list[tuple[int, float]]:
+        """Neighbours of ``v`` in ``G_S`` with larger contraction rank."""
+        rank = self.rank
+        return [(u, w) for u, w in self.shortcuts[v].items() if rank[u] > rank[v]]
+
+    def lower_neighbors(self, v: int) -> list[tuple[int, float]]:
+        """Neighbours of ``v`` in ``G_S`` with smaller contraction rank."""
+        rank = self.rank
+        return [(u, w) for u, w in self.shortcuts[v].items() if rank[u] < rank[v]]
+
+    def num_shortcut_edges(self) -> int:
+        """Number of edges in ``G_S`` (original + shortcut)."""
+        return sum(len(adj) for adj in self.shortcuts) // 2
+
+    def max_bag_size(self) -> int:
+        """Size of the largest bag (treewidth + 1 upper bound)."""
+        best = 0
+        for v in range(self.graph.num_vertices):
+            best = max(best, len(self.higher_neighbors(v)) + 1)
+        return best
+
+    # ------------------------------------------------------------------ #
+    # CH query (bidirectional upward search)
+    # ------------------------------------------------------------------ #
+
+    def query(self, s: int, t: int) -> float:
+        """Distance query via bidirectional upward search over ``G_S``.
+
+        Correct for CH-W as well (redundant shortcuts never hurt correctness,
+        only query speed).
+        """
+        if s == t:
+            return 0.0
+        dist_f = self._upward_search(s)
+        dist_b = self._upward_search(t)
+        best = UNREACHABLE
+        small, large = (dist_f, dist_b) if len(dist_f) <= len(dist_b) else (dist_b, dist_f)
+        for v, df in small.items():
+            db = large.get(v)
+            if db is not None and df + db < best:
+                best = df + db
+        return best
+
+    def _upward_search(self, source: int) -> dict[int, float]:
+        rank = self.rank
+        dist = {source: 0.0}
+        heap = [(0.0, source)]
+        while heap:
+            d, v = heappop(heap)
+            if d > dist.get(v, UNREACHABLE):
+                continue
+            for u, w in self.shortcuts[v].items():
+                if rank[u] <= rank[v]:
+                    continue
+                nd = d + w
+                if nd < dist.get(u, UNREACHABLE):
+                    dist[u] = nd
+                    heappush(heap, (nd, u))
+        return dist

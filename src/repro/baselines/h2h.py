@@ -1,0 +1,201 @@
+"""H2H-Index (Ouyang et al., SIGMOD 2018) -- construction and queries.
+
+H2H builds a tree decomposition from a CH-W contraction order and stores, for
+every vertex, three arrays (Section 3.1 of the STL paper):
+
+* ``anc(v)`` -- the ancestor path from the root of the decomposition to ``v``,
+* ``dist(v)`` -- the distances from ``v`` to each of those ancestors **in the
+  whole graph**, and
+* ``pos(v)`` -- the depths of the vertices of ``v``'s bag inside ``anc(v)``.
+
+A query finds the lowest common ancestor of the two tree nodes and combines
+the distance arrays at the positions stored for the LCA (Equation 1).
+
+This module provides the static index; :mod:`repro.baselines.dynamic_h2h`
+adds the maintenance machinery shared by IncH2H and DTDHL.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.contraction import ContractionHierarchy
+from repro.baselines.tree_decomposition import TreeDecomposition
+from repro.core.stats import IndexStats
+from repro.graph.graph import Graph
+from repro.utils.memory import MemoryEstimate
+from repro.utils.timer import Timer
+
+UNREACHABLE = math.inf
+
+
+class H2HIndex:
+    """Static H2H-Index over a road network."""
+
+    method_name = "H2H"
+
+    def __init__(self, graph: Graph, ch: ContractionHierarchy, td: TreeDecomposition):
+        self.graph = graph
+        self.ch = ch
+        self.td = td
+        n = graph.num_vertices
+        #: ancestor path (vertex ids, root first, v last) per vertex
+        self.anc: list[list[int]] = [[] for _ in range(n)]
+        #: distances from v to each ancestor in anc(v)
+        self.dist: list[list[float]] = [[] for _ in range(n)]
+        #: depths of the bag vertices of v (including v itself) inside anc(v)
+        self.pos: list[list[int]] = [[] for _ in range(n)]
+        #: binary-lifting table for LCA queries
+        self._up: list[list[int]] = []
+        self.construction_seconds = 0.0
+        self._build_labels()
+        self._build_lca_table()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(cls, graph: Graph) -> "H2HIndex":
+        """Contract, decompose and label ``graph``."""
+        timer = Timer()
+        with timer.measure():
+            ch = ContractionHierarchy(graph, witness_search=False)
+            td = TreeDecomposition(ch)
+            index = cls(graph, ch, td)
+        index.construction_seconds = timer.elapsed
+        return index
+
+    def _bag_with_weights(self, v: int) -> list[tuple[int, float]]:
+        """Bag neighbours of ``v`` with their *current* shortcut weights."""
+        shortcuts_v = self.ch.shortcuts[v]
+        return [(u, shortcuts_v[u]) for u, _ in self.td.bag[v]]
+
+    def _build_labels(self) -> None:
+        td = self.td
+        depth = td.depth
+        for v in td.topdown_order:
+            parent = td.parent[v]
+            if parent == -1:
+                self.anc[v] = [v]
+                self.dist[v] = [0.0]
+                self.pos[v] = [0]
+                continue
+            self.anc[v] = self.anc[parent] + [v]
+            self.dist[v] = self._compute_distance_array(v)
+            bag_depths = sorted({depth[u] for u, _ in td.bag[v]} | {depth[v]})
+            self.pos[v] = bag_depths
+
+    def _compute_distance_array(self, v: int) -> list[float]:
+        """Top-down dynamic program for ``dist(v)`` (all ancestors processed)."""
+        depth = self.td.depth
+        anc_v = self.anc[v]
+        depth_v = len(anc_v) - 1
+        result = [UNREACHABLE] * (depth_v + 1)
+        result[depth_v] = 0.0
+        bag = self._bag_with_weights(v)
+        for j in range(depth_v):
+            best = UNREACHABLE
+            ancestor_j = anc_v[j]
+            for u, w in bag:
+                if math.isinf(w):
+                    continue
+                du = depth[u]
+                if du == j:
+                    candidate = w
+                elif du > j:
+                    candidate = w + self.dist[u][j]
+                else:
+                    candidate = w + self.dist[ancestor_j][du]
+                if candidate < best:
+                    best = candidate
+            result[j] = best
+        return result
+
+    def _build_lca_table(self) -> None:
+        n = self.graph.num_vertices
+        if n == 0:
+            self._up = []
+            return
+        max_log = max(1, (max(self.td.depth) + 1).bit_length())
+        up = [[-1] * n for _ in range(max_log)]
+        up[0] = list(self.td.parent)
+        for k in range(1, max_log):
+            previous = up[k - 1]
+            current = up[k]
+            for v in range(n):
+                mid = previous[v]
+                current[v] = previous[mid] if mid != -1 else -1
+        self._up = up
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def lca(self, s: int, t: int) -> int:
+        """Lowest common ancestor of ``s`` and ``t`` in the decomposition."""
+        depth = self.td.depth
+        if depth[s] < depth[t]:
+            s, t = t, s
+        diff = depth[s] - depth[t]
+        k = 0
+        while diff:
+            if diff & 1:
+                s = self._up[k][s]
+            diff >>= 1
+            k += 1
+        if s == t:
+            return s
+        for k in range(len(self._up) - 1, -1, -1):
+            if self._up[k][s] != self._up[k][t]:
+                s = self._up[k][s]
+                t = self._up[k][t]
+        return self._up[0][s]
+
+    def query(self, s: int, t: int) -> float:
+        """Distance query via the LCA's position array (Equation 1)."""
+        if s == t:
+            return 0.0
+        ancestor = self.lca(s, t)
+        if ancestor == s or ancestor == t:
+            shallow, deep = (s, t) if ancestor == s else (t, s)
+            return self.dist[deep][self.td.depth[shallow]]
+        dist_s = self.dist[s]
+        dist_t = self.dist[t]
+        best = UNREACHABLE
+        for i in self.pos[ancestor]:
+            candidate = dist_s[i] + dist_t[i]
+            if candidate < best:
+                best = candidate
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    def num_label_entries(self) -> int:
+        """Number of stored distance entries."""
+        return sum(len(d) for d in self.dist)
+
+    def _auxiliary_bytes(self) -> int:
+        """Aux data beyond the distance arrays: ancestor/position arrays + LCA table."""
+        id_entries = sum(len(a) for a in self.anc) + sum(len(p) for p in self.pos)
+        lca_entries = sum(len(row) for row in self._up)
+        return 4 * (id_entries + lca_entries)
+
+    def stats(self) -> IndexStats:
+        """Table 4 row for this index."""
+        shortcut_entries = self.ch.num_shortcut_edges() * 3  # (u, v, w) per edge
+        memory = MemoryEstimate(
+            distance_entries=self.num_label_entries(),
+            id_entries=0,
+            auxiliary_bytes=self._auxiliary_bytes() + 4 * shortcut_entries,
+        )
+        return IndexStats(
+            method=self.method_name,
+            num_vertices=self.graph.num_vertices,
+            num_label_entries=self.num_label_entries(),
+            memory=memory,
+            tree_height=self.td.height,
+            construction_seconds=self.construction_seconds,
+        )

@@ -1,0 +1,293 @@
+"""HC2L (Farhan et al., SIGMOD 2024) -- hierarchical cut 2-hop labelling.
+
+HC2L builds a balanced tree hierarchy by recursive bi-partitioning like STL,
+but it *adds distance-preserving shortcuts* when a separator is removed: for
+each side of the cut, a clique is inserted among the side's boundary vertices
+whose weights capture the shortest detours through the removed separator.
+This keeps the distances inside every partition equal to the distances in the
+full graph, so labels store **global** distances -- at the price of denser
+subgraphs (larger cuts at lower levels, larger labels) and of a structure
+that cannot be maintained incrementally (the motivation for STL, Section 3.2
+of the paper).
+
+The query is identical in shape to STL's (scan the common-ancestor prefix of
+two flat label arrays); HC2L is static, so no maintenance API is offered.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Sequence
+
+from repro.core.stats import IndexStats
+from repro.graph.graph import Graph
+from repro.hierarchy.tree import StableTreeHierarchy
+from repro.partition.bisection import Bisector, HybridBisector
+from repro.utils.memory import MemoryEstimate
+from repro.utils.timer import Timer
+
+UNREACHABLE = math.inf
+
+
+class HC2L:
+    """Static hierarchical cut 2-hop labelling with distance-preserving shortcuts."""
+
+    method_name = "HC2L"
+
+    def __init__(
+        self,
+        graph: Graph,
+        hierarchy: StableTreeHierarchy,
+        labels: list[list[float]],
+        construction_seconds: float = 0.0,
+        num_shortcut_edges: int = 0,
+    ):
+        self.graph = graph
+        self.hierarchy = hierarchy
+        self.labels = labels
+        self.construction_seconds = construction_seconds
+        self.num_shortcut_edges = num_shortcut_edges
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        bisector: Bisector | None = None,
+        leaf_size: int = 16,
+    ) -> "HC2L":
+        """Build the HC2L hierarchy and labels for ``graph``."""
+        timer = Timer()
+        with timer.measure():
+            builder = _HC2LBuilder(graph, bisector or HybridBisector(), leaf_size)
+            hierarchy, labels, shortcut_edges = builder.run()
+        return cls(graph, hierarchy, labels, timer.elapsed, shortcut_edges)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def query(self, s: int, t: int) -> float:
+        """Distance query over the common-ancestor prefix (global distances)."""
+        if s == t:
+            return 0.0
+        prefix = self.hierarchy.num_common_ancestors(s, t)
+        label_s = self.labels[s]
+        label_t = self.labels[t]
+        best = UNREACHABLE
+        for i in range(prefix):
+            candidate = label_s[i] + label_t[i]
+            if candidate < best:
+                best = candidate
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    def num_label_entries(self) -> int:
+        """Number of stored distance entries."""
+        return sum(len(label) for label in self.labels)
+
+    def stats(self) -> IndexStats:
+        """Table 4 row: labels plus the shortcut edges kept by the hierarchy."""
+        entries = self.num_label_entries()
+        return IndexStats(
+            method=self.method_name,
+            num_vertices=self.graph.num_vertices,
+            num_label_entries=entries,
+            memory=MemoryEstimate(
+                distance_entries=entries,
+                auxiliary_bytes=12 * self.num_shortcut_edges,
+            ),
+            tree_height=self.hierarchy.height,
+            construction_seconds=self.construction_seconds,
+        )
+
+
+class _HC2LBuilder:
+    """Recursive construction working on explicit (augmented) subgraphs."""
+
+    def __init__(self, graph: Graph, bisector: Bisector, leaf_size: int):
+        self.graph = graph
+        self.bisector = bisector
+        self.leaf_size = leaf_size
+        self.hierarchy = StableTreeHierarchy(graph.num_vertices)
+        self.labels: list[list[float]] = [[] for _ in range(graph.num_vertices)]
+        self.num_shortcut_edges = 0
+
+    def run(self) -> tuple[StableTreeHierarchy, list[list[float]], int]:
+        adjacency: dict[int, dict[int, float]] = {v: dict() for v in self.graph.vertices()}
+        for u, v, w in self.graph.edges():
+            if math.isinf(w):
+                continue
+            adjacency[u][v] = min(w, adjacency[u].get(v, UNREACHABLE))
+            adjacency[v][u] = min(w, adjacency[v].get(u, UNREACHABLE))
+        self._build(sorted(adjacency), adjacency, parent=-1, is_right=False)
+        self.hierarchy.finalize()
+        # Every label ends with the vertex's distance to itself; pad any
+        # ancestor the vertex could not reach with inf first.
+        tau = self.hierarchy.tau
+        for v in self.graph.vertices():
+            label = self.labels[v]
+            while len(label) < tau[v]:
+                label.append(UNREACHABLE)
+            label.append(0.0)
+        return self.hierarchy, self.labels, self.num_shortcut_edges
+
+    # ------------------------------------------------------------------ #
+
+    def _build(
+        self,
+        vertices: list[int],
+        adjacency: dict[int, dict[int, float]],
+        parent: int,
+        is_right: bool,
+    ) -> None:
+        node = self.hierarchy.add_node(parent, is_right)
+
+        if len(vertices) <= self.leaf_size:
+            ordered = sorted(vertices, key=lambda v: (-len(adjacency[v]), v))
+            self.hierarchy.assign_vertices(node, ordered)
+            self._label_cut(ordered, vertices, adjacency)
+            return
+
+        view = _SubgraphView(self.graph, vertices, adjacency)
+        bisection = self.bisector.bisect(view, vertices)
+        if not bisection.left or not bisection.right:
+            ordered = sorted(vertices, key=lambda v: (-len(adjacency[v]), v))
+            self.hierarchy.assign_vertices(node, ordered)
+            self._label_cut(ordered, vertices, adjacency)
+            return
+
+        separator = sorted(bisection.separator, key=lambda v: (-len(adjacency[v]), v))
+        self.hierarchy.assign_vertices(node, separator)
+        separator_distances = self._label_cut(separator, vertices, adjacency)
+
+        # Distance preservation: on each side, connect the boundary vertices
+        # (those adjacent to the separator) by clique edges whose weight is
+        # the shortest detour through the separator.  Paths that leave a side
+        # always cross the separator, so these shortcuts make the side's
+        # internal distances equal to the distances in the full graph -- and
+        # they are what makes HC2L's lower-level subgraphs denser than STL's.
+        for side in (bisection.left, bisection.right):
+            self._add_boundary_clique(side, separator, separator_distances, adjacency)
+
+        # Remove the separator from the working adjacency before recursing.
+        for s in separator:
+            for u in list(adjacency[s]):
+                adjacency[u].pop(s, None)
+            adjacency[s] = {}
+
+        self._build(sorted(bisection.left), adjacency, node.index, False)
+        self._build(sorted(bisection.right), adjacency, node.index, True)
+
+    def _add_boundary_clique(
+        self,
+        side: Sequence[int],
+        separator: Sequence[int],
+        separator_distances: dict[int, dict[int, float]],
+        adjacency: dict[int, dict[int, float]],
+    ) -> None:
+        separator_set = set(separator)
+        boundary = [
+            v for v in side if any(u in separator_set for u in adjacency[v])
+        ]
+        for i, x in enumerate(boundary):
+            for y in boundary[i + 1 :]:
+                detour = UNREACHABLE
+                for dist in separator_distances.values():
+                    dx = dist.get(x)
+                    dy = dist.get(y)
+                    if dx is not None and dy is not None and dx + dy < detour:
+                        detour = dx + dy
+                if math.isinf(detour):
+                    continue
+                if detour < adjacency[x].get(y, UNREACHABLE):
+                    if y not in adjacency[x]:
+                        self.num_shortcut_edges += 1
+                    adjacency[x][y] = detour
+                    adjacency[y][x] = detour
+
+    def _label_cut(
+        self,
+        cut_vertices: Sequence[int],
+        subgraph_vertices: Sequence[int],
+        adjacency: dict[int, dict[int, float]],
+    ) -> dict[int, dict[int, float]]:
+        """Label subgraph vertices with their distance to each cut vertex.
+
+        Distances are computed inside the current augmented subgraph, which by
+        the distance-preserving shortcuts equal the distances in the full
+        graph.  Returns the per-cut-vertex distance maps (reused for the
+        boundary cliques).
+        """
+        tau = self.hierarchy.tau
+        allowed = set(subgraph_vertices)
+        distance_maps: dict[int, dict[int, float]] = {}
+        for r in cut_vertices:
+            index = tau[r]
+            dist = self._dijkstra(r, allowed, adjacency)
+            distance_maps[r] = dist
+            for v in subgraph_vertices:
+                # Descendants of this node have not been assigned yet and
+                # still carry tau == -1; the only vertices to skip are the cut
+                # vertices that precede r (or r itself) inside this node.
+                if v == r or (tau[v] != -1 and tau[v] <= index):
+                    continue
+                label = self.labels[v]
+                while len(label) <= index:
+                    label.append(UNREACHABLE)
+                label[index] = dist.get(v, UNREACHABLE)
+        return distance_maps
+
+    @staticmethod
+    def _dijkstra(
+        source: int, allowed: set[int], adjacency: dict[int, dict[int, float]]
+    ) -> dict[int, float]:
+        dist = {source: 0.0}
+        heap = [(0.0, source)]
+        while heap:
+            d, v = heappop(heap)
+            if d > dist.get(v, UNREACHABLE):
+                continue
+            for nbr, w in adjacency[v].items():
+                if nbr not in allowed:
+                    continue
+                nd = d + w
+                if nd < dist.get(nbr, UNREACHABLE):
+                    dist[nbr] = nd
+                    heappush(heap, (nd, nbr))
+        return dist
+
+
+class _SubgraphView:
+    """Adapter exposing an augmented adjacency dict through the Graph API.
+
+    The bisectors only call ``neighbors``, ``coordinates``, ``num_vertices``
+    and ``degree``; this view forwards those to the HC2L builder's working
+    adjacency so separators account for the added shortcut edges.
+    """
+
+    def __init__(self, graph: Graph, vertices: Sequence[int], adjacency: dict[int, dict[int, float]]):
+        self._graph = graph
+        self._adjacency = adjacency
+        self._vertex_set = set(vertices)
+
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    @property
+    def coordinates(self):
+        return self._graph.coordinates
+
+    def neighbors(self, v: int) -> list[tuple[int, float]]:
+        return [(u, w) for u, w in self._adjacency[v].items() if u in self._vertex_set]
+
+    def degree(self, v: int) -> int:
+        return len(self.neighbors(v))

@@ -1,0 +1,117 @@
+"""Tree decomposition induced by a CH-W contraction order.
+
+Every contracted vertex ``v`` forms a bag ``X(v) = {v} ∪ N_S⁺(v)`` where
+``N_S⁺(v)`` are ``v``'s higher-ranked neighbours in the shortcut graph.  The
+parent of ``X(v)`` is ``X(u)`` for the lowest-ranked vertex ``u`` of
+``N_S⁺(v)``.  Two classical properties make this the backbone of H2H:
+
+* every vertex in ``X(v)`` is an ancestor of ``v`` in the tree, and
+* every shortest path between ``s`` and ``t`` passes through a vertex of the
+  bag of their lowest common ancestor.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.contraction import ContractionHierarchy
+from repro.utils.errors import GraphError
+
+
+class TreeDecomposition:
+    """Tree decomposition of a graph derived from a contraction hierarchy."""
+
+    def __init__(self, hierarchy: ContractionHierarchy):
+        self.ch = hierarchy
+        n = hierarchy.graph.num_vertices
+        self.parent: list[int] = [-1] * n
+        self.children: list[list[int]] = [[] for _ in range(n)]
+        self.depth: list[int] = [0] * n
+        #: bag(v): list of (ancestor_vertex, shortcut_weight) pairs, i.e. the
+        #: higher neighbours of v in G_S.
+        self.bag: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        #: root -> path ordering of vertices (each vertex owns one tree node)
+        self.topdown_order: list[int] = []
+        self.root: int = -1
+        self._build()
+
+    def _build(self) -> None:
+        ch = self.ch
+        n = ch.graph.num_vertices
+        rank = ch.rank
+        roots: list[int] = []
+        for v in range(n):
+            higher = sorted(ch.higher_neighbors(v), key=lambda item: rank[item[0]])
+            self.bag[v] = higher
+            if higher:
+                self.parent[v] = higher[0][0]
+                self.children[higher[0][0]].append(v)
+            else:
+                roots.append(v)
+
+        if not roots:
+            raise GraphError("tree decomposition has no root")
+        # A connected graph yields exactly one root (the last contracted
+        # vertex); disconnected inputs yield one root per component -- we link
+        # the extra roots below the main root so that a single tree remains.
+        self.root = max(roots, key=lambda v: rank[v])
+        for extra in roots:
+            if extra != self.root:
+                self.parent[extra] = self.root
+                self.children[self.root].append(extra)
+
+        # Depths + top-down order via BFS from the root.
+        order: list[int] = [self.root]
+        self.depth[self.root] = 0
+        index = 0
+        while index < len(order):
+            v = order[index]
+            index += 1
+            for child in self.children[v]:
+                self.depth[child] = self.depth[v] + 1
+                order.append(child)
+        if len(order) != n:
+            raise GraphError("tree decomposition is not connected")
+        self.topdown_order = order
+
+    # ------------------------------------------------------------------ #
+    # Queries on the tree structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def height(self) -> int:
+        """Number of levels of the decomposition (max depth + 1)."""
+        return max(self.depth) + 1 if self.depth else 0
+
+    @property
+    def width(self) -> int:
+        """Maximum bag size (treewidth upper bound + 1)."""
+        return max((len(b) + 1 for b in self.bag), default=0)
+
+    def ancestors(self, v: int) -> list[int]:
+        """Vertices on the path from the root down to ``v`` (inclusive)."""
+        chain = []
+        while v != -1:
+            chain.append(v)
+            v = self.parent[v]
+        chain.reverse()
+        return chain
+
+    def subtree(self, v: int) -> list[int]:
+        """All vertices in the subtree rooted at ``v`` (pre-order)."""
+        result = [v]
+        stack = [v]
+        while stack:
+            u = stack.pop()
+            for child in self.children[u]:
+                result.append(child)
+                stack.append(child)
+        return result
+
+    def is_ancestor(self, a: int, v: int) -> bool:
+        """Whether ``a`` lies on the root path of ``v`` (inclusive)."""
+        while v != -1:
+            if v == a:
+                return True
+            if self.depth[v] < self.depth[a]:
+                return False
+            v = self.parent[v]
+        return False

@@ -1,0 +1,18 @@
+"""Stable Tree Labelling: construction, queries and dynamic maintenance."""
+
+from repro.core.labelling import STLLabels, build_labels
+from repro.core.query import query_distance
+from repro.core.stl import StableTreeLabelling
+from repro.core.label_search import LabelSearchDecrease, LabelSearchIncrease
+from repro.core.pareto_search import ParetoSearchDecrease, ParetoSearchIncrease
+
+__all__ = [
+    "STLLabels",
+    "build_labels",
+    "query_distance",
+    "StableTreeLabelling",
+    "LabelSearchDecrease",
+    "LabelSearchIncrease",
+    "ParetoSearchDecrease",
+    "ParetoSearchIncrease",
+]

@@ -1,0 +1,166 @@
+"""Directed-road-network extension (Section 8 of the paper).
+
+The paper notes that STL extends to directed road networks by storing, for
+every vertex, distances to its ancestors in *both* directions (forward and
+backward searches over the same stable tree hierarchy).  This module provides
+that extension for static queries:
+
+* the hierarchy is built on the underlying undirected graph (structure only),
+* two label sets are constructed with rank-restricted Dijkstra over the
+  out-edges and the in-edges respectively,
+* a query ``s -> t`` combines the forward label of ``s`` with the backward
+  label of ``t``.
+
+Dynamic maintenance of the directed variant follows the same algorithms run
+per direction; it is left as the straightforward composition of the
+undirected machinery and is exercised only statically in the test suite
+(mirroring the paper, whose evaluation is on undirected networks).
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Iterable, Sequence
+
+from repro.graph.graph import Graph
+from repro.hierarchy.builder import HierarchyOptions, build_hierarchy
+from repro.hierarchy.tree import StableTreeHierarchy
+from repro.utils.errors import GraphError
+
+UNREACHABLE = math.inf
+
+
+class DirectedGraph:
+    """Minimal directed weighted graph with dense integer vertex ids."""
+
+    def __init__(self, num_vertices: int):
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        self._out: list[list[tuple[int, float]]] = [[] for _ in range(num_vertices)]
+        self._in: list[list[tuple[int, float]]] = [[] for _ in range(num_vertices)]
+        self.num_edges = 0
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._out)
+
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Add the directed edge ``u -> v``."""
+        if u == v:
+            raise GraphError("self loops are not allowed")
+        weight = float(weight)
+        if weight < 0 or math.isnan(weight):
+            raise GraphError(f"invalid weight {weight!r}")
+        self._out[u].append((v, weight))
+        self._in[v].append((u, weight))
+        self.num_edges += 1
+
+    def out_neighbors(self, v: int) -> list[tuple[int, float]]:
+        return self._out[v]
+
+    def in_neighbors(self, v: int) -> list[tuple[int, float]]:
+        return self._in[v]
+
+    def to_undirected(self) -> Graph:
+        """Underlying undirected graph (minimum weight per direction pair)."""
+        graph = Graph(self.num_vertices)
+        best: dict[tuple[int, int], float] = {}
+        for u in range(self.num_vertices):
+            for v, w in self._out[u]:
+                key = (u, v) if u < v else (v, u)
+                best[key] = min(w, best.get(key, UNREACHABLE))
+        for (u, v), w in best.items():
+            graph.add_edge(u, v, w)
+        return graph
+
+    @classmethod
+    def from_undirected(cls, graph: Graph, asymmetry: Iterable[tuple[int, int, float]] = ()) -> "DirectedGraph":
+        """Directed version of an undirected graph, with optional per-arc overrides."""
+        directed = cls(graph.num_vertices)
+        for u, v, w in graph.edges():
+            directed.add_edge(u, v, w)
+            directed.add_edge(v, u, w)
+        for u, v, w in asymmetry:
+            directed.add_edge(u, v, w)
+        return directed
+
+
+class DirectedSTL:
+    """Stable Tree Labelling for directed road networks (forward + backward labels)."""
+
+    def __init__(
+        self,
+        graph: DirectedGraph,
+        hierarchy: StableTreeHierarchy,
+        forward_labels: list[list[float]],
+        backward_labels: list[list[float]],
+    ):
+        self.graph = graph
+        self.hierarchy = hierarchy
+        self.forward_labels = forward_labels
+        self.backward_labels = backward_labels
+
+    @classmethod
+    def build(cls, graph: DirectedGraph, options: HierarchyOptions | None = None) -> "DirectedSTL":
+        """Build a directed STL: one hierarchy, two label sets."""
+        undirected = graph.to_undirected()
+        hierarchy = build_hierarchy(undirected, options)
+        tau = hierarchy.tau
+        n = graph.num_vertices
+        forward = [[UNREACHABLE] * (tau[v] + 1) for v in range(n)]
+        backward = [[UNREACHABLE] * (tau[v] + 1) for v in range(n)]
+        for r in hierarchy.vertices_in_label_order():
+            index = tau[r]
+            # Forward label of v stores d(v -> r): search backwards from r.
+            for x, d in _restricted_search(graph, r, tau, forward_direction=False).items():
+                forward[x][index] = d
+            # Backward label of v stores d(r -> v): search forwards from r.
+            for x, d in _restricted_search(graph, r, tau, forward_direction=True).items():
+                backward[x][index] = d
+        return cls(graph, hierarchy, forward, backward)
+
+    def query(self, s: int, t: int) -> float:
+        """Shortest directed distance ``s -> t``."""
+        if s == t:
+            return 0.0
+        prefix = self.hierarchy.num_common_ancestors(s, t)
+        label_s = self.forward_labels[s]
+        label_t = self.backward_labels[t]
+        best = UNREACHABLE
+        for i in range(prefix):
+            candidate = label_s[i] + label_t[i]
+            if candidate < best:
+                best = candidate
+        return best
+
+    def num_label_entries(self) -> int:
+        """Total stored entries across both directions."""
+        return sum(len(l) for l in self.forward_labels) + sum(
+            len(l) for l in self.backward_labels
+        )
+
+
+def _restricted_search(
+    graph: DirectedGraph,
+    source: int,
+    rank: Sequence[int],
+    forward_direction: bool,
+) -> dict[int, float]:
+    """Rank-restricted Dijkstra over out-edges (forward) or in-edges (backward)."""
+    threshold = rank[source]
+    dist: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    neighbors = graph.out_neighbors if forward_direction else graph.in_neighbors
+    while heap:
+        d, v = heappop(heap)
+        if d > dist.get(v, UNREACHABLE):
+            continue
+        for nbr, weight in neighbors(v):
+            if rank[nbr] < threshold or math.isinf(weight):
+                continue
+            nd = d + weight
+            if nd < dist.get(nbr, UNREACHABLE):
+                dist[nbr] = nd
+                heappush(heap, (nd, nbr))
+    return dist

@@ -1,0 +1,266 @@
+"""Label Search maintenance algorithms (Algorithms 1 and 2 of the paper).
+
+Label Search is the *ancestor-centric* maintenance strategy: for every
+ancestor ``r`` whose subgraph contains an updated edge, a pruned Dijkstra-like
+search from the updated edge repairs the label entries at label index
+``tau(r)``.
+
+Both algorithms share the same contract:
+
+* they are called **before** the weight change is applied to the graph,
+* on return, both the graph and the labels reflect the new weights.
+
+The decrease algorithm (Algorithm 1) applies the new weights first and then
+searches, because shorter paths are discovered with their final distance and
+can be repaired immediately.  The increase algorithm (Algorithm 2) must first
+identify affected vertices on the *old* graph (by following old shortest
+paths through the updated edges), then applies the new weights and repairs
+the affected entries from their unaffected neighbours (Lemma 5.5).
+
+Because label entries are indexed by *label index* rather than by ancestor
+vertex, updates touching different subtrees can share the per-index priority
+queues: their search regions are disjoint subgraphs, so the searches never
+interact.  This is what lets a whole batch be processed with one pass over
+the queues, as in the paper's batched formulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Iterable
+
+from repro.core.labelling import STLLabels
+from repro.graph.graph import Graph
+from repro.graph.updates import EdgeUpdate, UpdateKind
+from repro.hierarchy.tree import StableTreeHierarchy
+from repro.utils.errors import UpdateError
+
+UNREACHABLE = math.inf
+
+
+@dataclass
+class MaintenanceStats:
+    """Counters describing the work done by one maintenance call.
+
+    These back the paper's performance analysis (Section 7.2): the number of
+    affected label entries and the number of heap operations explain why one
+    method is faster than another on a given update.
+    """
+
+    updates_processed: int = 0
+    ancestors_touched: int = 0
+    labels_changed: int = 0
+    vertices_affected: int = 0
+    heap_pushes: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def merge(self, other: "MaintenanceStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.updates_processed += other.updates_processed
+        self.ancestors_touched += other.ancestors_touched
+        self.labels_changed += other.labels_changed
+        self.vertices_affected += other.vertices_affected
+        self.heap_pushes += other.heap_pushes
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0) + value
+
+
+def _orient(update: EdgeUpdate, tau: list[int]) -> tuple[int, int]:
+    """Return the update's endpoints ``(a, b)`` with ``tau(a) < tau(b)``.
+
+    Lemma 5.3: for any edge one endpoint precedes the other in the stable
+    tree hierarchy, so the orientation is always well defined.
+    """
+    u, v = update.u, update.v
+    if tau[u] == tau[v]:
+        raise UpdateError(
+            f"edge ({u}, {v}) joins two vertices with equal label index; "
+            "the hierarchy does not cover this graph"
+        )
+    return (u, v) if tau[u] < tau[v] else (v, u)
+
+
+class LabelSearchDecrease:
+    """Algorithm 1: Label Search for edge-weight decreases."""
+
+    def __init__(self, graph: Graph, hierarchy: StableTreeHierarchy, labels: STLLabels):
+        self.graph = graph
+        self.hierarchy = hierarchy
+        self.labels = labels
+
+    def apply(self, updates: Iterable[EdgeUpdate] | EdgeUpdate) -> MaintenanceStats:
+        """Apply a batch of weight decreases and repair the labels."""
+        if isinstance(updates, EdgeUpdate):
+            updates = [updates]
+        else:
+            updates = list(updates)
+        stats = MaintenanceStats()
+        tau = self.hierarchy.tau
+        labels = self.labels
+        graph = self.graph
+
+        # Decreases are applied to the graph first: the searches below follow
+        # paths in the *new* graph, and any path through an updated edge must
+        # already see the new weight.
+        for update in updates:
+            if update.kind is UpdateKind.INCREASE:
+                raise UpdateError(
+                    f"LabelSearchDecrease received a weight increase on edge "
+                    f"({update.u}, {update.v})"
+                )
+            graph.set_weight(update.u, update.v, update.new_weight)
+            stats.updates_processed += 1
+
+        # Seed one priority queue per affected ancestor label index
+        # (Algorithm 1, lines 2-7).
+        queues: dict[int, list[tuple[float, int]]] = {}
+        for update in updates:
+            a, b = _orient(update, tau)
+            w_new = update.new_weight
+            label_a = labels[a]
+            label_b = labels[b]
+            for i in range(tau[a] + 1):
+                da, db = label_a[i], label_b[i]
+                if da + w_new < db:
+                    queues.setdefault(i, [])
+                    heappush(queues[i], (da + w_new, b))
+                    stats.heap_pushes += 1
+                elif db + w_new < da:
+                    queues.setdefault(i, [])
+                    heappush(queues[i], (db + w_new, a))
+                    stats.heap_pushes += 1
+
+        # One pruned search per ancestor index (Algorithm 1, lines 8-14).
+        adjacency = graph.adjacency()
+        for i, heap in queues.items():
+            stats.ancestors_touched += 1
+            while heap:
+                d, v = heappop(heap)
+                label_v = labels[v]
+                if d < label_v[i]:
+                    label_v[i] = d
+                    stats.labels_changed += 1
+                    for nbr, weight in adjacency[v]:
+                        if tau[nbr] > i and not math.isinf(weight) and d + weight < labels[nbr][i]:
+                            heappush(heap, (d + weight, nbr))
+                            stats.heap_pushes += 1
+        return stats
+
+
+class LabelSearchIncrease:
+    """Algorithm 2: Label Search for edge-weight increases."""
+
+    def __init__(self, graph: Graph, hierarchy: StableTreeHierarchy, labels: STLLabels):
+        self.graph = graph
+        self.hierarchy = hierarchy
+        self.labels = labels
+
+    def apply(self, updates: Iterable[EdgeUpdate] | EdgeUpdate) -> MaintenanceStats:
+        """Apply a batch of weight increases and repair the labels."""
+        if isinstance(updates, EdgeUpdate):
+            updates = [updates]
+        else:
+            updates = list(updates)
+        stats = MaintenanceStats()
+        tau = self.hierarchy.tau
+        labels = self.labels
+        graph = self.graph
+
+        for update in updates:
+            if update.kind is UpdateKind.DECREASE:
+                raise UpdateError(
+                    f"LabelSearchIncrease received a weight decrease on edge "
+                    f"({update.u}, {update.v})"
+                )
+
+        # Phase 1 (on OLD weights): find, per ancestor index, the vertices
+        # whose old shortest path to the ancestor runs through an updated
+        # edge (Algorithm 2, lines 2-14).
+        queues: dict[int, list[tuple[float, int]]] = {}
+        for update in updates:
+            a, b = _orient(update, tau)
+            w_old = update.old_weight
+            label_a = labels[a]
+            label_b = labels[b]
+            for i in range(tau[a] + 1):
+                da, db = label_a[i], label_b[i]
+                if not math.isinf(da) and da + w_old == db:
+                    queues.setdefault(i, [])
+                    heappush(queues[i], (da + w_old, b))
+                    stats.heap_pushes += 1
+                elif not math.isinf(db) and db + w_old == da:
+                    queues.setdefault(i, [])
+                    heappush(queues[i], (db + w_old, a))
+                    stats.heap_pushes += 1
+
+        adjacency = graph.adjacency()
+        affected_by_index: dict[int, set[int]] = {}
+        for i, heap in queues.items():
+            stats.ancestors_touched += 1
+            affected: set[int] = set()
+            while heap:
+                d, v = heappop(heap)
+                if v in affected:
+                    continue
+                affected.add(v)
+                for nbr, weight in adjacency[v]:
+                    if (
+                        tau[nbr] > i
+                        and not math.isinf(weight)
+                        and nbr not in affected
+                        and d + weight == labels[nbr][i]
+                    ):
+                        heappush(heap, (d + weight, nbr))
+                        stats.heap_pushes += 1
+            affected_by_index[i] = affected
+            stats.vertices_affected += len(affected)
+
+        # Apply the new weights before repairing.
+        for update in updates:
+            graph.set_weight(update.u, update.v, update.new_weight)
+            stats.updates_processed += 1
+
+        # Phase 2: repair every affected entry from its unaffected neighbours
+        # (Algorithm 2, Function Repair; Lemma 5.5).
+        for i, affected in affected_by_index.items():
+            if affected:
+                stats.labels_changed += self._repair(i, affected)
+        return stats
+
+    def _repair(self, index: int, affected: set[int]) -> int:
+        """Recompute ``L(v)[index]`` for every ``v`` in ``affected``."""
+        tau = self.hierarchy.tau
+        labels = self.labels
+        adjacency = self.graph.adjacency()
+
+        heap: list[tuple[float, int]] = []
+        for v in affected:
+            best = UNREACHABLE
+            for nbr, weight in adjacency[v]:
+                # A neighbour with tau == index is necessarily the ancestor
+                # itself (adjacent vertices are comparable, Lemma 5.3), whose
+                # label entry is 0 -- it must participate in the bound, or a
+                # vertex whose shortest path is the direct edge to the
+                # ancestor would be over-estimated.
+                if tau[nbr] >= index and nbr not in affected and not math.isinf(weight):
+                    candidate = labels[nbr][index] + weight
+                    if candidate < best:
+                        best = candidate
+            labels[v][index] = best
+            if best < UNREACHABLE:
+                heappush(heap, (best, v))
+
+        changed = len(affected)
+        while heap:
+            d, v = heappop(heap)
+            if d > labels[v][index]:
+                continue
+            for nbr, weight in adjacency[v]:
+                if tau[nbr] > index and not math.isinf(weight):
+                    candidate = d + weight
+                    if candidate < labels[nbr][index]:
+                        labels[nbr][index] = candidate
+                        heappush(heap, (candidate, nbr))
+        return changed

@@ -1,0 +1,169 @@
+"""Stable Tree Labelling construction (Definition 4.6, Remark 1).
+
+The label of a vertex ``v`` is a flat array ``L(v)`` of length ``tau(v) + 1``
+whose entry ``L(v)[i]`` is the distance from ``v`` to its unique ancestor
+``r`` with label index ``i``, measured **within the subgraph**
+``G[Desc(r)]`` -- not within the whole graph.  Storing subgraph distances is
+the paper's crucial design choice: an edge update can only affect ``L(v)[i]``
+when the updated edge lies inside ``G[Desc(r)]``, which drastically limits
+the number of labels any update touches.
+
+Construction runs one rank-restricted Dijkstra per vertex ``r`` (in label
+order): the search only expands vertices whose label index is larger than
+``tau(r)``, which -- by the separator property of the stable tree hierarchy --
+is exactly ``G[Desc(r)]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.algorithms.dijkstra import dijkstra_rank_restricted
+from repro.graph.graph import Graph
+from repro.hierarchy.tree import StableTreeHierarchy
+from repro.utils.errors import LabellingError
+from repro.utils.memory import MemoryEstimate
+
+#: Sentinel for "ancestor unreachable inside its subgraph".
+UNREACHABLE = math.inf
+
+
+class STLLabels:
+    """The distance arrays of a Stable Tree Labelling.
+
+    ``labels[v][i]`` is the subgraph distance from ``v`` to its ancestor with
+    label index ``i`` (``math.inf`` when that ancestor cannot be reached
+    inside its own subgraph -- possible only on disconnected inputs).
+    """
+
+    __slots__ = ("labels",)
+
+    def __init__(self, labels: list[list[float]]):
+        self.labels = labels
+
+    def __getitem__(self, vertex: int) -> list[float]:
+        return self.labels[vertex]
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def label_of(self, vertex: int) -> list[float]:
+        """The distance array of ``vertex`` (alias of ``self[vertex]``)."""
+        return self.labels[vertex]
+
+    def entry(self, vertex: int, label_index: int) -> float:
+        """``L(v)[i]`` with bounds checking (used by tests and tools)."""
+        label = self.labels[vertex]
+        if not 0 <= label_index < len(label):
+            raise LabellingError(
+                f"vertex {vertex} has no label entry for index {label_index}"
+            )
+        return label[label_index]
+
+    def num_entries(self) -> int:
+        """Total number of stored distance entries (Table 4, '# Label Entries')."""
+        return sum(len(label) for label in self.labels)
+
+    def memory_estimate(self) -> MemoryEstimate:
+        """Size estimate in the compact layout used for Table 4."""
+        return MemoryEstimate(distance_entries=self.num_entries())
+
+    def iter_entries(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate ``(vertex, label_index, distance)`` over every entry."""
+        for v, label in enumerate(self.labels):
+            for i, d in enumerate(label):
+                yield v, i, d
+
+    def copy(self) -> "STLLabels":
+        """Deep copy (used by tests that compare maintained vs rebuilt labels)."""
+        return STLLabels([list(label) for label in self.labels])
+
+    def equals(self, other: "STLLabels", tolerance: float = 1e-9) -> bool:
+        """Entry-wise equality within ``tolerance`` (inf entries must match exactly)."""
+        if len(self.labels) != len(other.labels):
+            return False
+        for mine, theirs in zip(self.labels, other.labels):
+            if len(mine) != len(theirs):
+                return False
+            for a, b in zip(mine, theirs):
+                if math.isinf(a) or math.isinf(b):
+                    if a != b:
+                        return False
+                elif abs(a - b) > tolerance:
+                    return False
+        return True
+
+    def differences(self, other: "STLLabels", tolerance: float = 1e-9) -> list[tuple[int, int, float, float]]:
+        """List of ``(vertex, index, mine, theirs)`` entries that differ (debug helper)."""
+        diffs = []
+        for v, (mine, theirs) in enumerate(zip(self.labels, other.labels)):
+            for i, (a, b) in enumerate(zip(mine, theirs)):
+                different = (a != b) if (math.isinf(a) or math.isinf(b)) else abs(a - b) > tolerance
+                if different:
+                    diffs.append((v, i, a, b))
+        return diffs
+
+
+def build_labels(graph: Graph, hierarchy: StableTreeHierarchy) -> STLLabels:
+    """Construct STL labels for ``graph`` over ``hierarchy``.
+
+    For each vertex ``r`` (processed in label order, high-level separators
+    first) a rank-restricted Dijkstra computes the distances from ``r`` to
+    every vertex of ``G[Desc(r)]``; those distances become the entries at
+    label index ``tau(r)`` in the labels of the reached vertices.
+    """
+    if hierarchy.num_vertices != graph.num_vertices:
+        raise LabellingError(
+            f"hierarchy covers {hierarchy.num_vertices} vertices, "
+            f"graph has {graph.num_vertices}"
+        )
+    tau = hierarchy.tau
+    labels: list[list[float]] = [
+        [UNREACHABLE] * (tau[v] + 1) for v in range(graph.num_vertices)
+    ]
+    for r in hierarchy.vertices_in_label_order():
+        index = tau[r]
+        distances = dijkstra_rank_restricted(graph, r, tau)
+        for x, d in distances.items():
+            labels[x][index] = d
+    return STLLabels(labels)
+
+
+def rebuild_labels_for_vertex(
+    graph: Graph, hierarchy: StableTreeHierarchy, labels: STLLabels, r: int
+) -> None:
+    """Recompute every label entry associated with ancestor ``r`` in place.
+
+    Used by the structural-update extension (Section 8) after a sub-hierarchy
+    has been repartitioned, and by tests as a trusted repair oracle.
+    """
+    index = hierarchy.tau[r]
+    for x in hierarchy.descendants(r):
+        labels[x][index] = UNREACHABLE
+    for x, d in dijkstra_rank_restricted(graph, r, hierarchy.tau).items():
+        labels[x][index] = d
+
+
+def verify_labels(
+    graph: Graph, hierarchy: StableTreeHierarchy, labels: STLLabels
+) -> list[str]:
+    """Exhaustively verify labels against rank-restricted Dijkstra.
+
+    Returns a list of human-readable problems (empty when the labelling is
+    correct).  O(n * h * search) -- strictly a test/debug utility.
+    """
+    problems: list[str] = []
+    tau = hierarchy.tau
+    for r in hierarchy.vertices_in_label_order():
+        index = tau[r]
+        expected = dijkstra_rank_restricted(graph, r, tau)
+        for x in hierarchy.descendants(r):
+            want = expected.get(x, UNREACHABLE)
+            got = labels[x][index]
+            matches = (want == got) if (math.isinf(want) or math.isinf(got)) else abs(want - got) < 1e-9
+            if not matches:
+                problems.append(
+                    f"L({x})[{index}] = {got}, expected {want} (ancestor {r})"
+                )
+    return problems

@@ -1,0 +1,103 @@
+"""Saving and loading a Stable Tree Labelling.
+
+The on-disk format is a compact JSON document: the hierarchy's node
+structure, the per-vertex node assignment and the label arrays.  It is meant
+for checkpointing experiment state, not for exchanging indexes between
+machines with different graphs -- the graph itself is *not* stored (labels
+without their road network are not useful), so ``load_labelling`` takes the
+graph as an argument and validates vertex counts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import TextIO
+
+from repro.core.labelling import STLLabels
+from repro.core.stl import StableTreeLabelling
+from repro.graph.graph import Graph
+from repro.hierarchy.tree import StableTreeHierarchy
+from repro.utils.errors import SerializationError
+
+FORMAT_VERSION = 1
+_INF_SENTINEL = -1.0
+
+
+def _encode_distance(value: float) -> float:
+    return _INF_SENTINEL if math.isinf(value) else value
+
+
+def _decode_distance(value: float) -> float:
+    return math.inf if value == _INF_SENTINEL else value
+
+
+def serialize_labelling(stl: StableTreeLabelling) -> dict:
+    """Turn an index into a JSON-serialisable dict."""
+    hierarchy = stl.hierarchy
+    return {
+        "format_version": FORMAT_VERSION,
+        "num_vertices": hierarchy.num_vertices,
+        "maintenance": stl.maintenance_mode,
+        "nodes": [
+            {
+                "parent": node.parent,
+                "is_right": (
+                    node.parent != -1
+                    and hierarchy.nodes[node.parent].right == node.index
+                ),
+                "vertices": node.vertices,
+            }
+            for node in hierarchy.nodes
+        ],
+        "labels": [
+            [_encode_distance(d) for d in label] for label in stl.labels.labels
+        ],
+    }
+
+
+def deserialize_labelling(payload: dict, graph: Graph) -> StableTreeLabelling:
+    """Rebuild an index from :func:`serialize_labelling` output."""
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {payload.get('format_version')!r}"
+        )
+    num_vertices = payload["num_vertices"]
+    if num_vertices != graph.num_vertices:
+        raise SerializationError(
+            f"payload covers {num_vertices} vertices, graph has {graph.num_vertices}"
+        )
+    hierarchy = StableTreeHierarchy(num_vertices)
+    for entry in payload["nodes"]:
+        node = hierarchy.add_node(entry["parent"], entry["is_right"])
+        hierarchy.assign_vertices(node, entry["vertices"])
+    hierarchy.finalize()
+    labels = STLLabels([[_decode_distance(d) for d in label] for label in payload["labels"]])
+    for v in range(num_vertices):
+        if len(labels[v]) != hierarchy.tau[v] + 1:
+            raise SerializationError(
+                f"label of vertex {v} has {len(labels[v])} entries, "
+                f"expected {hierarchy.tau[v] + 1}"
+            )
+    return StableTreeLabelling(graph, hierarchy, labels, payload.get("maintenance", "pareto"))
+
+
+def save_labelling(stl: StableTreeLabelling, path_or_handle: str | TextIO) -> None:
+    """Write an index to a JSON file (or open handle)."""
+    payload = serialize_labelling(stl)
+    if isinstance(path_or_handle, (str, os.PathLike)):
+        with open(path_or_handle, "w", encoding="ascii") as handle:
+            json.dump(payload, handle)
+    else:
+        json.dump(payload, path_or_handle)
+
+
+def load_labelling(path_or_handle: str | TextIO, graph: Graph) -> StableTreeLabelling:
+    """Read an index written by :func:`save_labelling`."""
+    if isinstance(path_or_handle, (str, os.PathLike)):
+        with open(path_or_handle, "r", encoding="ascii") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(path_or_handle)
+    return deserialize_labelling(payload, graph)

@@ -1,0 +1,206 @@
+"""The public facade of Stable Tree Labelling.
+
+:class:`StableTreeLabelling` ties the hierarchy, the label construction, the
+query and the four maintenance algorithms into one object with the life cycle
+a downstream user needs:
+
+>>> from repro import StableTreeLabelling, generators
+>>> graph = generators.grid_road_network(16, 16, seed=1)
+>>> stl = StableTreeLabelling.build(graph)
+>>> d = stl.query(0, graph.num_vertices - 1)
+>>> stl.increase_edge(0, 1, new_weight=graph.weight(0, 1) * 2)
+>>> stl.decrease_edge(0, 1, new_weight=graph.weight(0, 1) / 2)
+
+Maintenance strategy defaults to Pareto Search (the paper's fastest variant);
+``maintenance="label_search"`` selects the ancestor-centric Algorithms 1-2
+instead, which is how the STL-L rows of Table 3 are produced.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Literal
+
+from repro.core.label_search import (
+    LabelSearchDecrease,
+    LabelSearchIncrease,
+    MaintenanceStats,
+)
+from repro.core.labelling import STLLabels, build_labels
+from repro.core.pareto_search import ParetoSearchDecrease, ParetoSearchIncrease
+from repro.core.query import query_distance, query_with_hub
+from repro.core.stats import IndexStats
+from repro.graph.graph import Graph
+from repro.graph.updates import EdgeUpdate, UpdateKind
+from repro.hierarchy.builder import HierarchyOptions, build_hierarchy
+from repro.hierarchy.tree import StableTreeHierarchy
+from repro.utils.errors import UpdateError
+from repro.utils.memory import MemoryEstimate
+from repro.utils.timer import Timer
+from repro.utils.validation import check_vertex
+
+MaintenanceMode = Literal["pareto", "label_search"]
+
+
+class StableTreeLabelling:
+    """Stable Tree Labelling index over a dynamic road network.
+
+    Instances are normally created with :meth:`build`; the constructor is for
+    advanced uses (pre-built hierarchies, deserialisation).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        hierarchy: StableTreeHierarchy,
+        labels: STLLabels,
+        maintenance: MaintenanceMode = "pareto",
+        construction_seconds: float = 0.0,
+    ):
+        self.graph = graph
+        self.hierarchy = hierarchy
+        self.labels = labels
+        self.construction_seconds = construction_seconds
+        self.set_maintenance(maintenance)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        options: HierarchyOptions | None = None,
+        maintenance: MaintenanceMode = "pareto",
+    ) -> "StableTreeLabelling":
+        """Build the index: stable tree hierarchy + subgraph-distance labels."""
+        timer = Timer()
+        with timer.measure():
+            hierarchy = build_hierarchy(graph, options)
+            labels = build_labels(graph, hierarchy)
+        return cls(graph, hierarchy, labels, maintenance, timer.elapsed)
+
+    def rebuild(self, options: HierarchyOptions | None = None) -> "StableTreeLabelling":
+        """Construct a fresh index on the current graph (Figure 10 baseline)."""
+        return StableTreeLabelling.build(self.graph, options, self._maintenance_mode)
+
+    def set_maintenance(self, maintenance: MaintenanceMode) -> None:
+        """Select the maintenance algorithm family ('pareto' or 'label_search')."""
+        if maintenance not in ("pareto", "label_search"):
+            raise ValueError(f"unknown maintenance mode {maintenance!r}")
+        self._maintenance_mode: MaintenanceMode = maintenance
+        if maintenance == "pareto":
+            self._decrease = ParetoSearchDecrease(self.graph, self.hierarchy, self.labels)
+            self._increase = ParetoSearchIncrease(self.graph, self.hierarchy, self.labels)
+        else:
+            self._decrease = LabelSearchDecrease(self.graph, self.hierarchy, self.labels)
+            self._increase = LabelSearchIncrease(self.graph, self.hierarchy, self.labels)
+
+    @property
+    def maintenance_mode(self) -> MaintenanceMode:
+        """The currently selected maintenance algorithm family."""
+        return self._maintenance_mode
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def query(self, s: int, t: int) -> float:
+        """Shortest-path distance between ``s`` and ``t`` (Equation 3).
+
+        Vertex ids are not re-validated here: the query is the hot path of
+        the whole library, and out-of-range ids fail loudly with an
+        ``IndexError`` from the label lookup anyway.
+        """
+        return query_distance(self.hierarchy, self.labels, s, t)
+
+    def query_with_hub(self, s: int, t: int) -> tuple[float, int]:
+        """Distance plus the label index of the common ancestor realising it."""
+        check_vertex(s, self.graph.num_vertices)
+        check_vertex(t, self.graph.num_vertices)
+        return query_with_hub(self.hierarchy, self.labels, s, t)
+
+    def batch_query(self, pairs: Iterable[tuple[int, int]]) -> list[float]:
+        """Answer many queries (convenience wrapper used by the harness)."""
+        return [self.query(s, t) for s, t in pairs]
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def apply_update(self, update: EdgeUpdate) -> MaintenanceStats:
+        """Apply one edge-weight update (dispatches on increase/decrease)."""
+        if update.kind is UpdateKind.INCREASE:
+            return self._increase.apply(update)
+        if update.kind is UpdateKind.DECREASE:
+            return self._decrease.apply(update)
+        return MaintenanceStats(updates_processed=1)
+
+    def apply_batch(self, updates: Iterable[EdgeUpdate]) -> MaintenanceStats:
+        """Apply a batch of updates.
+
+        Decreases and increases are grouped and handed to the respective
+        algorithm, which is how the paper processes its mixed batches.
+        """
+        updates = list(updates)
+        increases = [u for u in updates if u.kind is UpdateKind.INCREASE]
+        decreases = [u for u in updates if u.kind is UpdateKind.DECREASE]
+        stats = MaintenanceStats()
+        if increases:
+            stats.merge(self._increase.apply(increases))
+        if decreases:
+            stats.merge(self._decrease.apply(decreases))
+        return stats
+
+    def increase_edge(self, u: int, v: int, new_weight: float) -> MaintenanceStats:
+        """Increase the weight of edge ``(u, v)`` to ``new_weight``."""
+        old = self.graph.weight(u, v)
+        if new_weight < old:
+            raise UpdateError(
+                f"increase_edge called with new weight {new_weight} below current {old}"
+            )
+        return self.apply_update(EdgeUpdate(u, v, old, new_weight))
+
+    def decrease_edge(self, u: int, v: int, new_weight: float) -> MaintenanceStats:
+        """Decrease the weight of edge ``(u, v)`` to ``new_weight``."""
+        old = self.graph.weight(u, v)
+        if new_weight > old:
+            raise UpdateError(
+                f"decrease_edge called with new weight {new_weight} above current {old}"
+            )
+        return self.apply_update(EdgeUpdate(u, v, old, new_weight))
+
+    def remove_edge(self, u: int, v: int) -> MaintenanceStats:
+        """Logically delete edge ``(u, v)`` by raising its weight to infinity.
+
+        This is the Section 8 treatment of structural deletions.  The label
+        entries of vertices that lose their last path to an ancestor become
+        ``inf``, and queries fall back to other common ancestors.
+        """
+        old = self.graph.weight(u, v)
+        if math.isinf(old):
+            return MaintenanceStats()
+        return self.apply_update(EdgeUpdate(u, v, old, math.inf))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> IndexStats:
+        """Size statistics of this index (Table 4 row)."""
+        return IndexStats(
+            method=f"STL ({self._maintenance_mode})",
+            num_vertices=self.graph.num_vertices,
+            num_label_entries=self.labels.num_entries(),
+            memory=MemoryEstimate(distance_entries=self.labels.num_entries()),
+            tree_height=self.hierarchy.height,
+            construction_seconds=self.construction_seconds,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"StableTreeLabelling(vertices={self.graph.num_vertices}, "
+            f"entries={self.labels.num_entries()}, "
+            f"maintenance={self._maintenance_mode!r})"
+        )

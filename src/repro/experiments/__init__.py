@@ -1,0 +1,22 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each module corresponds to one exhibit of the evaluation section:
+
+* :mod:`repro.experiments.table2` -- dataset summary,
+* :mod:`repro.experiments.table3` -- update times (decrease / increase),
+* :mod:`repro.experiments.table4` -- labelling size, construction time,
+  label entries, tree height,
+* :mod:`repro.experiments.table5` -- query times over random pairs,
+* :mod:`repro.experiments.figure8` -- update time vs weight-change factor,
+* :mod:`repro.experiments.figure9` -- query time vs query distance (Q1..Q10),
+* :mod:`repro.experiments.figure10` -- batched maintenance vs reconstruction.
+
+Every driver returns plain data structures and offers a ``format_*`` helper
+that prints rows shaped like the paper's exhibit, so the benchmark harness
+and the ``examples/reproduce_paper.py`` script share the same code paths.
+"""
+
+from repro.experiments.harness import ExperimentConfig, build_stl_variants
+from repro.experiments.reporting import format_table
+
+__all__ = ["ExperimentConfig", "build_stl_variants", "format_table"]

@@ -1,0 +1,72 @@
+"""Figure 8 -- update time under varying weight-change factors.
+
+Batch ``t`` multiplies its edges' weights by ``t + 1`` (then restores them);
+the figure plots average update time per update against the factor for
+STL-P+, STL-P-, IncH2H+ and IncH2H-.  The expected shape: every curve is flat
+in the factor except STL-P+, whose +delta upper bound (Algorithm 4, line 18)
+is tight less often as the factor grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.inch2h import IncH2H
+from repro.core.stl import StableTreeLabelling
+from repro.experiments.harness import ExperimentConfig, measure_updates_per_ms
+from repro.experiments.reporting import format_series
+from repro.workloads.datasets import build_dataset
+from repro.workloads.updates import scaling_update_batches
+
+
+@dataclass
+class Figure8Series:
+    """Per-dataset series of update times across weight-change factors."""
+
+    network: str
+    factors: list[float] = field(default_factory=list)
+    series_ms: dict[str, list[float]] = field(default_factory=dict)
+
+
+def run_figure8(
+    config: ExperimentConfig | None = None,
+    num_factors: int = 5,
+) -> list[Figure8Series]:
+    """Measure update time vs weight-change factor for every dataset."""
+    config = config or ExperimentConfig()
+    results: list[Figure8Series] = []
+    for name in config.datasets:
+        graph = build_dataset(name, scale=config.scale, seed=config.seed)
+        stl = StableTreeLabelling.build(graph.copy(), config.hierarchy_options())
+        inch2h = IncH2H.build(graph.copy())
+        batches = scaling_update_batches(
+            graph,
+            num_batches=num_factors,
+            batch_size=config.updates_per_batch,
+            seed=config.seed,
+        )
+        series = Figure8Series(network=name)
+        series.series_ms = {"STL-P+": [], "STL-P-": [], "IncH2H+": [], "IncH2H-": []}
+        for factor, increases, decreases in batches:
+            series.factors.append(factor)
+            series.series_ms["STL-P+"].append(measure_updates_per_ms(stl, increases))
+            series.series_ms["STL-P-"].append(measure_updates_per_ms(stl, decreases))
+            series.series_ms["IncH2H+"].append(measure_updates_per_ms(inch2h, increases))
+            series.series_ms["IncH2H-"].append(measure_updates_per_ms(inch2h, decreases))
+        results.append(series)
+    return results
+
+
+def format_figure8(results: list[Figure8Series]) -> str:
+    """Render the Figure 8 series as per-dataset tables."""
+    blocks = []
+    for series in results:
+        blocks.append(
+            format_series(
+                series.series_ms,
+                series.factors,
+                title=f"Figure 8 ({series.network}): update time [ms] vs weight-change factor",
+                x_label="factor",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,54 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    title: str | None = None,
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render ``rows`` (list of dicts) as an aligned plain-text table.
+
+    Column order follows ``columns`` when given, otherwise the key order of
+    the first row.  All values are rendered with ``str``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    for row in rows:
+        for c in columns:
+            widths[c] = max(widths[c], len(str(row.get(c, ""))))
+
+    def render_row(values: Iterable[object]) -> str:
+        return " | ".join(str(v).ljust(widths[c]) for c, v in zip(columns, values))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(columns))
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(render_row(row.get(c, "") for c in columns))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[object],
+    title: str | None = None,
+    x_label: str = "x",
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render named series (Figure-style data) as a table with one row per x."""
+    rows = []
+    for i, x in enumerate(x_values):
+        row: dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = value_format.format(values[i]) if i < len(values) else ""
+        rows.append(row)
+    return format_table(rows, title=title)

@@ -1,0 +1,18 @@
+"""Table 2 -- dataset summary (paper sizes vs generated analogues)."""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.workloads.datasets import dataset_table_rows
+
+
+def run_table2(config: ExperimentConfig | None = None) -> list[dict[str, str]]:
+    """Build every configured dataset analogue and report its size."""
+    config = config or ExperimentConfig()
+    return dataset_table_rows(scale=config.scale, seed=config.seed, names=list(config.datasets))
+
+
+def format_table2(rows: list[dict[str, str]]) -> str:
+    """Render the Table 2 analogue."""
+    return format_table(rows, title="Table 2: datasets (paper originals vs scaled analogues)")

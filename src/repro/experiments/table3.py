@@ -1,0 +1,83 @@
+"""Table 3 -- average update time per edge-weight update.
+
+For each dataset we sample batches of edges, double their weights (measuring
+the *increase* algorithms) and restore them (measuring the *decrease*
+algorithms), exactly mirroring the paper's test-input generation.  Reported
+numbers are average milliseconds per update for
+
+* STL-P (Pareto Search), STL-L (Label Search),
+* IncH2H and DTDHL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.harness import (
+    ExperimentConfig,
+    build_dynamic_competitors,
+    build_stl_variants,
+    measure_updates_per_ms,
+)
+from repro.experiments.reporting import format_table
+from repro.workloads.datasets import build_dataset
+from repro.workloads.updates import random_update_batch
+
+
+@dataclass
+class Table3Row:
+    """Update-time measurements (milliseconds per update) for one dataset."""
+
+    network: str
+    decrease_ms: dict[str, float] = field(default_factory=dict)
+    increase_ms: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, str]:
+        row: dict[str, str] = {"network": self.network}
+        for method, value in self.increase_ms.items():
+            row[f"{method}+ [ms]"] = f"{value:.3f}"
+        for method, value in self.decrease_ms.items():
+            row[f"{method}- [ms]"] = f"{value:.3f}"
+        return row
+
+
+def run_table3(config: ExperimentConfig | None = None) -> list[Table3Row]:
+    """Measure update times for every configured dataset."""
+    config = config or ExperimentConfig()
+    rows: list[Table3Row] = []
+    for name in config.datasets:
+        graph = build_dataset(name, scale=config.scale, seed=config.seed)
+        indexes: dict[str, object] = {}
+        indexes.update(build_stl_variants(graph, config.hierarchy_options()))
+        indexes.update(build_dynamic_competitors(graph))
+
+        row = Table3Row(network=name)
+        for method in indexes:
+            row.increase_ms[method] = 0.0
+            row.decrease_ms[method] = 0.0
+
+        for batch_index in range(config.num_update_batches):
+            increases, decreases = random_update_batch(
+                graph,
+                config.updates_per_batch,
+                factor=config.update_factor,
+                seed=config.seed + 31 * batch_index,
+            )
+            for method, index in indexes.items():
+                row.increase_ms[method] += measure_updates_per_ms(index, increases)
+                row.decrease_ms[method] += measure_updates_per_ms(index, decreases)
+
+        batches = max(1, config.num_update_batches)
+        for method in indexes:
+            row.increase_ms[method] /= batches
+            row.decrease_ms[method] /= batches
+        rows.append(row)
+    return rows
+
+
+def format_table3(rows: list[Table3Row]) -> str:
+    """Render update times the way Table 3 lays them out."""
+    return format_table(
+        [row.as_dict() for row in rows],
+        title="Table 3: average update time per edge-weight update",
+    )

@@ -1,0 +1,63 @@
+"""Table 4 -- labelling size, construction time, label entries, tree height."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.dtdhl import DTDHL
+from repro.baselines.hc2l import HC2L
+from repro.baselines.inch2h import IncH2H
+from repro.core.stats import IndexStats
+from repro.core.stl import StableTreeLabelling
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.utils.memory import format_bytes, format_count
+from repro.workloads.datasets import build_dataset
+
+
+@dataclass
+class Table4Row:
+    """Index statistics for one dataset across every method."""
+
+    network: str
+    stats: dict[str, IndexStats]
+
+    def as_dict(self) -> dict[str, str]:
+        row: dict[str, str] = {"network": self.network}
+        for method, stat in self.stats.items():
+            row[f"{method} size"] = format_bytes(stat.bytes_total)
+            row[f"{method} build [s]"] = f"{stat.construction_seconds:.2f}"
+            row[f"{method} entries"] = format_count(stat.num_label_entries)
+            row[f"{method} height"] = str(stat.tree_height)
+        return row
+
+
+def run_table4(
+    config: ExperimentConfig | None = None,
+    include_methods: tuple[str, ...] = ("STL", "HC2L", "IncH2H", "DTDHL"),
+) -> list[Table4Row]:
+    """Build every method on every configured dataset and collect statistics."""
+    config = config or ExperimentConfig()
+    rows: list[Table4Row] = []
+    for name in config.datasets:
+        graph = build_dataset(name, scale=config.scale, seed=config.seed)
+        stats: dict[str, IndexStats] = {}
+        if "STL" in include_methods:
+            stl = StableTreeLabelling.build(graph.copy(), config.hierarchy_options())
+            stats["STL"] = stl.stats()
+        if "HC2L" in include_methods:
+            stats["HC2L"] = HC2L.build(graph.copy(), leaf_size=config.leaf_size).stats()
+        if "IncH2H" in include_methods:
+            stats["IncH2H"] = IncH2H.build(graph.copy()).stats()
+        if "DTDHL" in include_methods:
+            stats["DTDHL"] = DTDHL.build(graph.copy()).stats()
+        rows.append(Table4Row(network=name, stats=stats))
+    return rows
+
+
+def format_table4(rows: list[Table4Row]) -> str:
+    """Render the Table 4 analogue."""
+    return format_table(
+        [row.as_dict() for row in rows],
+        title="Table 4: labelling size / construction time / label entries / tree height",
+    )

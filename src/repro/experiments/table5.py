@@ -1,0 +1,66 @@
+"""Table 5 -- average query time over random source/target pairs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.dtdhl import DTDHL
+from repro.baselines.hc2l import HC2L
+from repro.baselines.inch2h import IncH2H
+from repro.core.stl import StableTreeLabelling
+from repro.experiments.harness import ExperimentConfig, measure_query_us
+from repro.experiments.reporting import format_table
+from repro.workloads.datasets import build_dataset
+from repro.workloads.queries import random_query_pairs
+
+
+@dataclass
+class Table5Row:
+    """Average query time (microseconds) for one dataset across methods."""
+
+    network: str
+    query_us: dict[str, float]
+
+    def as_dict(self) -> dict[str, str]:
+        row: dict[str, str] = {"network": self.network}
+        for method, value in self.query_us.items():
+            row[f"{method} [us]"] = f"{value:.2f}"
+        return row
+
+
+def run_table5(
+    config: ExperimentConfig | None = None,
+    include_methods: tuple[str, ...] = ("STL", "HC2L", "IncH2H", "DTDHL"),
+) -> list[Table5Row]:
+    """Measure average random-pair query time for every configured dataset."""
+    config = config or ExperimentConfig()
+    rows: list[Table5Row] = []
+    for name in config.datasets:
+        graph = build_dataset(name, scale=config.scale, seed=config.seed)
+        pairs = random_query_pairs(graph, config.num_query_pairs, seed=config.seed)
+        indexes: dict[str, object] = {}
+        if "STL" in include_methods:
+            indexes["STL"] = StableTreeLabelling.build(graph.copy(), config.hierarchy_options())
+        if "HC2L" in include_methods:
+            indexes["HC2L"] = HC2L.build(graph.copy(), leaf_size=config.leaf_size)
+        if "IncH2H" in include_methods:
+            indexes["IncH2H"] = IncH2H.build(graph.copy())
+        if "DTDHL" in include_methods:
+            indexes["DTDHL"] = DTDHL.build(graph.copy())
+        rows.append(
+            Table5Row(
+                network=name,
+                query_us={
+                    method: measure_query_us(index, pairs) for method, index in indexes.items()
+                },
+            )
+        )
+    return rows
+
+
+def format_table5(rows: list[Table5Row]) -> str:
+    """Render the Table 5 analogue."""
+    return format_table(
+        [row.as_dict() for row in rows],
+        title="Table 5: average query time over random pairs",
+    )

@@ -1,0 +1,18 @@
+"""Weighted dynamic graphs, synthetic road-network generators and I/O."""
+
+from repro.graph.graph import Graph
+from repro.graph.updates import EdgeUpdate, UpdateBatch, UpdateKind
+from repro.graph.components import connected_components, is_connected, largest_component
+from repro.graph import generators, io
+
+__all__ = [
+    "Graph",
+    "EdgeUpdate",
+    "UpdateBatch",
+    "UpdateKind",
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "generators",
+    "io",
+]

@@ -1,0 +1,81 @@
+"""Connected-component utilities.
+
+Road-network datasets are connected, but synthetic generators, induced
+subgraphs during hierarchy construction and ``inf``-weight edge deletions all
+produce graphs where connectivity has to be re-established or checked.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.graph.graph import Graph
+
+
+def connected_components(
+    graph: Graph, vertices: Iterable[int] | None = None
+) -> list[list[int]]:
+    """Connected components of ``graph`` (optionally restricted to ``vertices``).
+
+    Edges with infinite weight are treated as absent, matching the paper's
+    modelling of edge deletions.  Components are returned largest-first; each
+    component lists vertices in ascending order.
+    """
+    if vertices is None:
+        allowed: Sequence[int] | None = None
+        candidates: Iterable[int] = graph.vertices()
+    else:
+        allowed_set = set(vertices)
+        allowed = allowed_set  # type: ignore[assignment]
+        candidates = sorted(allowed_set)
+
+    visited: set[int] = set()
+    components: list[list[int]] = []
+    for start in candidates:
+        if start in visited:
+            continue
+        component = _bfs_component(graph, start, allowed, visited)
+        components.append(sorted(component))
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def _bfs_component(
+    graph: Graph,
+    start: int,
+    allowed: set[int] | None,
+    visited: set[int],
+) -> list[int]:
+    queue = deque([start])
+    visited.add(start)
+    component = [start]
+    while queue:
+        v = queue.popleft()
+        for nbr, weight in graph.neighbors(v):
+            if math.isinf(weight):
+                continue
+            if allowed is not None and nbr not in allowed:
+                continue
+            if nbr not in visited:
+                visited.add(nbr)
+                component.append(nbr)
+                queue.append(nbr)
+    return component
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (empty graphs count as connected)."""
+    if graph.num_vertices == 0:
+        return True
+    components = connected_components(graph)
+    return len(components) == 1
+
+
+def largest_component(graph: Graph) -> tuple[Graph, dict[int, int]]:
+    """Return the induced subgraph on the largest component plus an id mapping."""
+    components = connected_components(graph)
+    if not components:
+        return Graph(0), {}
+    return graph.induced_subgraph(components[0])

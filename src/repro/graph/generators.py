@@ -1,0 +1,325 @@
+"""Synthetic road-network generators.
+
+The paper evaluates on DIMACS / PTV road networks which are not shippable in
+an offline reproduction, so this module provides generators that reproduce the
+structural properties that matter for separator-based labellings:
+
+* sparse, near-planar topology with average degree around 2.5-3,
+* small balanced vertex separators (roughly ``sqrt(n)``),
+* positive travel-time weights with moderate variance,
+* a mild hierarchy of "fast" arterial roads.
+
+Three families are provided:
+
+``grid_road_network``
+    A perturbed grid: the classic stand-in for a dense urban street network.
+
+``city_road_network``
+    Several grid "cities" connected by long arterial highways, with random
+    street removals ("rivers" / missing links).  This mimics the multi-city
+    structure of the DIMACS state-level datasets.
+
+``delaunay_road_network``
+    Random points triangulated via Delaunay and sparsified -- a stand-in for
+    rural / suburban networks with irregular geometry.
+
+``random_connected_graph``
+    Small random connected graphs used by the property-based tests; not
+    road-like, but great for adversarial coverage of the algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from repro.graph.components import largest_component
+from repro.graph.graph import Graph
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+
+def _euclidean(a: tuple[float, float], b: tuple[float, float]) -> float:
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def _travel_time(
+    distance: float, rng: random.Random, speed: float = 1.0, jitter: float = 0.3
+) -> float:
+    """Convert a geometric distance into a noisy travel-time weight.
+
+    Weights are integer-valued floats (deciseconds, say): DIMACS road networks
+    use integer travel times, integer weights create the shortest-path ties
+    that exercise the equality-based affected-vertex detection of the
+    weight-increase maintenance algorithms, and integer-valued floats keep
+    distance sums exact, which those equality checks rely on.
+    """
+    noise = 1.0 + rng.uniform(-jitter, jitter)
+    value = max(round(10.0 * distance * noise / speed), 1)
+    return float(value)
+
+
+def grid_road_network(
+    rows: int,
+    cols: int,
+    seed: int | random.Random | None = 0,
+    drop_probability: float = 0.05,
+    diagonal_probability: float = 0.05,
+) -> Graph:
+    """Generate a perturbed ``rows x cols`` grid road network.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions; the graph has ``rows * cols`` vertices (possibly
+        fewer if dropped edges disconnect a corner -- the largest component is
+        returned with dense ids).
+    seed:
+        Seed or RNG for reproducibility.
+    drop_probability:
+        Probability that a grid edge is missing (dead ends, rivers).
+    diagonal_probability:
+        Probability that a diagonal shortcut street is added in a grid cell.
+    """
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+    check_probability(drop_probability, "drop_probability")
+    check_probability(diagonal_probability, "diagonal_probability")
+    rng = make_rng(seed)
+
+    num_vertices = rows * cols
+    coordinates = []
+    for r in range(rows):
+        for c in range(cols):
+            # Small positional jitter so coordinates are not perfectly collinear.
+            coordinates.append((c + rng.uniform(-0.2, 0.2), r + rng.uniform(-0.2, 0.2)))
+
+    graph = Graph(num_vertices, coordinates)
+    index = lambda r, c: r * cols + c  # noqa: E731 - tiny local helper
+
+    for r in range(rows):
+        for c in range(cols):
+            v = index(r, c)
+            if c + 1 < cols and rng.random() >= drop_probability:
+                u = index(r, c + 1)
+                graph.add_edge(v, u, _travel_time(_euclidean(coordinates[v], coordinates[u]), rng))
+            if r + 1 < rows and rng.random() >= drop_probability:
+                u = index(r + 1, c)
+                graph.add_edge(v, u, _travel_time(_euclidean(coordinates[v], coordinates[u]), rng))
+            if (
+                r + 1 < rows
+                and c + 1 < cols
+                and rng.random() < diagonal_probability
+            ):
+                u = index(r + 1, c + 1)
+                graph.add_edge(v, u, _travel_time(_euclidean(coordinates[v], coordinates[u]), rng))
+
+    connected, _ = largest_component(graph)
+    return connected
+
+
+def city_road_network(
+    num_cities: int = 4,
+    city_rows: int = 12,
+    city_cols: int = 12,
+    seed: int | random.Random | None = 0,
+    highway_speed: float = 3.0,
+    drop_probability: float = 0.08,
+) -> Graph:
+    """Generate a multi-city road network with arterial highways.
+
+    Each city is a perturbed grid; cities are placed on a ring and connected
+    by a small number of fast highway edges (travel time divided by
+    ``highway_speed``).  The result resembles a state-level DIMACS network:
+    dense urban cores with sparse long-distance connections, which is exactly
+    the structure that gives separator-based hierarchies small high-level
+    cuts.
+    """
+    check_positive_int(num_cities, "num_cities")
+    rng = make_rng(seed)
+
+    city_graphs = [
+        grid_road_network(
+            city_rows,
+            city_cols,
+            seed=rng,
+            drop_probability=drop_probability,
+            diagonal_probability=0.05,
+        )
+        for _ in range(num_cities)
+    ]
+
+    total_vertices = sum(g.num_vertices for g in city_graphs)
+    coordinates: list[tuple[float, float]] = []
+    edges: list[tuple[int, int, float]] = []
+    offsets: list[int] = []
+    spacing = max(city_rows, city_cols) * 3.0
+
+    offset = 0
+    for i, city in enumerate(city_graphs):
+        offsets.append(offset)
+        angle = 2 * math.pi * i / num_cities
+        centre = (spacing * math.cos(angle), spacing * math.sin(angle))
+        assert city.coordinates is not None
+        for x, y in city.coordinates:
+            coordinates.append((x + centre[0], y + centre[1]))
+        for u, v, w in city.edges():
+            edges.append((u + offset, v + offset, w))
+        offset += city.num_vertices
+
+    graph = Graph(total_vertices, coordinates)
+    for u, v, w in edges:
+        graph.add_edge(u, v, w)
+
+    # Connect consecutive cities on the ring with a few highways each, plus one
+    # cross-ring highway to create alternative long-distance routes.
+    highway_pairs = [(i, (i + 1) % num_cities) for i in range(num_cities)]
+    if num_cities > 3:
+        highway_pairs.append((0, num_cities // 2))
+    for a, b in highway_pairs:
+        for _ in range(2):
+            u = offsets[a] + rng.randrange(city_graphs[a].num_vertices)
+            v = offsets[b] + rng.randrange(city_graphs[b].num_vertices)
+            if u == v or graph.has_edge(u, v):
+                continue
+            distance = _euclidean(coordinates[u], coordinates[v])
+            graph.add_edge(u, v, _travel_time(distance, rng, speed=highway_speed, jitter=0.1))
+
+    connected, _ = largest_component(graph)
+    return connected
+
+
+def delaunay_road_network(
+    num_vertices: int,
+    seed: int | random.Random | None = 0,
+    keep_probability: float = 0.75,
+) -> Graph:
+    """Generate an irregular road network from a Delaunay triangulation.
+
+    Random points in the unit square are triangulated (via ``scipy.spatial``)
+    and each triangulation edge is kept with ``keep_probability``; the largest
+    connected component is returned.  Falls back to a k-nearest-neighbour
+    construction when SciPy is unavailable.
+    """
+    check_positive_int(num_vertices, "num_vertices")
+    check_probability(keep_probability, "keep_probability")
+    rng = make_rng(seed)
+
+    points = [(rng.random() * 100.0, rng.random() * 100.0) for _ in range(num_vertices)]
+
+    edge_set: set[tuple[int, int]] = set()
+    try:
+        from scipy.spatial import Delaunay  # pylint: disable=import-outside-toplevel
+        import numpy as np  # pylint: disable=import-outside-toplevel
+
+        triangulation = Delaunay(np.array(points))
+        for simplex in triangulation.simplices:
+            a, b, c = int(simplex[0]), int(simplex[1]), int(simplex[2])
+            for u, v in ((a, b), (b, c), (a, c)):
+                edge_set.add((u, v) if u < v else (v, u))
+    except Exception:  # pragma: no cover - scipy is installed in CI, this is a fallback
+        for v in range(num_vertices):
+            by_distance = sorted(
+                (u for u in range(num_vertices) if u != v),
+                key=lambda u: _euclidean(points[v], points[u]),
+            )
+            for u in by_distance[:3]:
+                edge_set.add((u, v) if u < v else (v, u))
+
+    graph = Graph(num_vertices, points)
+    for u, v in sorted(edge_set):
+        if rng.random() <= keep_probability:
+            graph.add_edge(u, v, _travel_time(_euclidean(points[u], points[v]), rng))
+
+    connected, _ = largest_component(graph)
+    return connected
+
+
+def random_connected_graph(
+    num_vertices: int,
+    extra_edge_probability: float = 0.1,
+    seed: int | random.Random | None = 0,
+    max_weight: float = 10.0,
+    integer_weights: bool = True,
+) -> Graph:
+    """Small random connected graph for property-based tests.
+
+    A random spanning tree guarantees connectivity; extra edges are added
+    independently with ``extra_edge_probability``.  ``integer_weights``
+    produces many shortest-path ties, which stresses the equality-based
+    affected-vertex detection of the maintenance algorithms.
+    """
+    check_positive_int(num_vertices, "num_vertices")
+    check_probability(extra_edge_probability, "extra_edge_probability")
+    rng = make_rng(seed)
+
+    def draw_weight() -> float:
+        if integer_weights:
+            return float(rng.randint(1, int(max_weight)))
+        return round(rng.uniform(0.5, max_weight), 2)
+
+    graph = Graph(num_vertices)
+    order = list(range(num_vertices))
+    rng.shuffle(order)
+    for i in range(1, num_vertices):
+        parent = order[rng.randrange(i)]
+        graph.add_edge(order[i], parent, draw_weight())
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if not graph.has_edge(u, v) and rng.random() < extra_edge_probability:
+                graph.add_edge(u, v, draw_weight())
+    return graph
+
+
+def paper_example_graph() -> Graph:
+    """The 16-vertex example road network of Figure 2 in the paper.
+
+    Vertex ids follow the paper (1-16) shifted down by one to 0-15.  This
+    graph is used by tests that cross-check labels and updates against the
+    worked examples in Sections 4 and 5.
+    """
+    # Edges transcribed from Figure 2: (u, v, weight), 1-based ids.
+    edges_1based = [
+        (1, 9, 4),
+        (1, 7, 3),
+        (1, 12, 3),
+        (2, 7, 2),
+        (2, 3, 3),
+        (3, 7, 4),
+        (3, 14, 3),
+        (3, 16, 3),
+        (4, 12, 4),
+        (4, 11, 3),
+        (4, 13, 2),
+        (5, 9, 6),
+        (5, 15, 6),
+        (6, 16, 9),
+        (6, 15, 2),
+        (7, 9, 7),
+        (8, 12, 6),
+        (8, 13, 4),
+        (9, 14, 3),
+        (10, 12, 2),
+        (10, 11, 3),
+        (11, 13, 8),
+        (12, 15, 2),
+        (13, 15, 5),
+        (14, 16, 2),
+        (15, 16, 3),
+    ]
+    graph = Graph(16)
+    for u, v, w in edges_1based:
+        graph.add_edge(u - 1, v - 1, float(w))
+    return graph
+
+
+def scaled_datasets(seed: int = 2025) -> dict[str, Graph]:
+    """Convenience wrapper returning the Table 2 analogue datasets.
+
+    See :mod:`repro.workloads.datasets` for the registry with metadata; this
+    helper only exists so examples can grab the small datasets in one call.
+    """
+    from repro.workloads.datasets import DATASETS, build_dataset
+
+    return {name: build_dataset(name, seed=seed) for name in list(DATASETS)[:4]}

@@ -1,0 +1,149 @@
+"""Graph I/O in the formats used by the road-network community.
+
+Two formats are supported:
+
+* the 9th DIMACS Implementation Challenge format (``.gr`` graph files plus
+  optional ``.co`` coordinate files), which is what the paper's datasets ship
+  in, so users with the real data can drop it straight into this library, and
+* a trivial whitespace edge-list format for quick experiments.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, TextIO
+
+from repro.graph.graph import Graph
+from repro.utils.errors import GraphError
+
+
+# --------------------------------------------------------------------------- #
+# DIMACS 9th challenge format
+# --------------------------------------------------------------------------- #
+
+def write_dimacs(graph: Graph, path: str, comment: str = "repro export") -> None:
+    """Write ``graph`` in DIMACS ``.gr`` format.
+
+    Each undirected edge is written as two arc lines (``a u v w``), matching
+    the convention of the challenge files.  Vertex ids are shifted to 1-based.
+    """
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"c {comment}\n")
+        handle.write(f"p sp {graph.num_vertices} {2 * graph.num_edges}\n")
+        for u, v, w in graph.edges():
+            weight = int(round(w)) if float(w).is_integer() else w
+            handle.write(f"a {u + 1} {v + 1} {weight}\n")
+            handle.write(f"a {v + 1} {u + 1} {weight}\n")
+
+
+def write_dimacs_coordinates(graph: Graph, path: str) -> None:
+    """Write vertex coordinates in DIMACS ``.co`` format (scaled to integers)."""
+    if graph.coordinates is None:
+        raise GraphError("graph has no coordinates to write")
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("c repro coordinate export\n")
+        handle.write(f"p aux sp co {graph.num_vertices}\n")
+        for v, (x, y) in enumerate(graph.coordinates):
+            handle.write(f"v {v + 1} {int(round(x * 1e6))} {int(round(y * 1e6))}\n")
+
+
+def read_dimacs(path: str, coordinate_path: str | None = None) -> Graph:
+    """Read a DIMACS ``.gr`` file (optionally with a ``.co`` coordinate file).
+
+    Arc lines appearing in both directions are merged into single undirected
+    edges; when both directions carry different weights the smaller one wins
+    (the challenge files are symmetric, so this only matters for hand-edited
+    inputs).
+    """
+    num_vertices = 0
+    edges: dict[tuple[int, int], float] = {}
+    with open(path, "r", encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if len(parts) < 4 or parts[1] != "sp":
+                    raise GraphError(f"unsupported DIMACS problem line: {line!r}")
+                num_vertices = int(parts[2])
+            elif parts[0] == "a":
+                if len(parts) != 4:
+                    raise GraphError(f"malformed arc line: {line!r}")
+                u, v, w = int(parts[1]) - 1, int(parts[2]) - 1, float(parts[3])
+                if u == v:
+                    continue
+                key = (u, v) if u < v else (v, u)
+                if key in edges:
+                    edges[key] = min(edges[key], w)
+                else:
+                    edges[key] = w
+            else:
+                raise GraphError(f"unrecognised DIMACS line: {line!r}")
+
+    coordinates = None
+    if coordinate_path is not None:
+        coordinates = _read_dimacs_coordinates(coordinate_path, num_vertices)
+
+    graph = Graph(num_vertices, coordinates)
+    for (u, v), w in edges.items():
+        graph.add_edge(u, v, w)
+    return graph
+
+
+def _read_dimacs_coordinates(path: str, num_vertices: int) -> list[tuple[float, float]]:
+    coordinates = [(0.0, 0.0)] * num_vertices
+    with open(path, "r", encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(("c", "p")):
+                continue
+            parts = line.split()
+            if parts[0] != "v" or len(parts) != 4:
+                raise GraphError(f"malformed coordinate line: {line!r}")
+            v = int(parts[1]) - 1
+            if not 0 <= v < num_vertices:
+                raise GraphError(f"coordinate line refers to unknown vertex {v + 1}")
+            coordinates[v] = (float(parts[2]) / 1e6, float(parts[3]) / 1e6)
+    return coordinates
+
+
+# --------------------------------------------------------------------------- #
+# Plain edge-list format
+# --------------------------------------------------------------------------- #
+
+def write_edge_list(graph: Graph, path_or_handle: str | TextIO) -> None:
+    """Write ``graph`` as ``u v weight`` lines (0-based vertex ids)."""
+
+    def _write(handle: TextIO) -> None:
+        handle.write(f"{graph.num_vertices} {graph.num_edges}\n")
+        for u, v, w in graph.edges():
+            handle.write(f"{u} {v} {w}\n")
+
+    if isinstance(path_or_handle, (str, os.PathLike)):
+        with open(path_or_handle, "w", encoding="ascii") as handle:
+            _write(handle)
+    else:
+        _write(path_or_handle)
+
+
+def read_edge_list(path_or_handle: str | TextIO) -> Graph:
+    """Read a graph written by :func:`write_edge_list`."""
+
+    def _read(handle: Iterable[str]) -> Graph:
+        lines = iter(handle)
+        header = next(lines).split()
+        num_vertices = int(header[0])
+        graph = Graph(num_vertices)
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            u_str, v_str, w_str = line.split()
+            graph.add_edge(int(u_str), int(v_str), float(w_str))
+        return graph
+
+    if isinstance(path_or_handle, (str, os.PathLike)):
+        with open(path_or_handle, "r", encoding="ascii") as handle:
+            return _read(handle)
+    return _read(path_or_handle)

@@ -1,0 +1,137 @@
+"""Edge-weight update model for dynamic road networks.
+
+The paper considers two kinds of updates (Section 3): edge-weight *increases*
+and *decreases*.  :class:`EdgeUpdate` captures a single update together with
+the old weight so it can be classified and rolled back, and
+:class:`UpdateBatch` captures the batches used throughout the evaluation
+(Tables 3, Figures 8 and 10).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.graph.graph import Graph
+from repro.utils.errors import UpdateError
+
+
+class UpdateKind(enum.Enum):
+    """Classification of a weight update."""
+
+    INCREASE = "increase"
+    DECREASE = "decrease"
+    NEUTRAL = "neutral"
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """A single edge-weight update ``(u, v): old_weight -> new_weight``."""
+
+    u: int
+    v: int
+    old_weight: float
+    new_weight: float
+
+    @property
+    def kind(self) -> UpdateKind:
+        """Whether this update increases, decreases or preserves the weight."""
+        if self.new_weight > self.old_weight:
+            return UpdateKind.INCREASE
+        if self.new_weight < self.old_weight:
+            return UpdateKind.DECREASE
+        return UpdateKind.NEUTRAL
+
+    @property
+    def delta(self) -> float:
+        """Signed weight change ``new - old``."""
+        return self.new_weight - self.old_weight
+
+    def reversed(self) -> "EdgeUpdate":
+        """The update that undoes this one (used to restore batches)."""
+        return EdgeUpdate(self.u, self.v, self.new_weight, self.old_weight)
+
+    def apply(self, graph: Graph) -> None:
+        """Apply the update to ``graph`` (validates the recorded old weight)."""
+        current = graph.weight(self.u, self.v)
+        if current != self.old_weight:
+            raise UpdateError(
+                f"edge ({self.u}, {self.v}) has weight {current}, "
+                f"update expected {self.old_weight}"
+            )
+        graph.set_weight(self.u, self.v, self.new_weight)
+
+    @classmethod
+    def scaling(cls, graph: Graph, u: int, v: int, factor: float) -> "EdgeUpdate":
+        """Create an update multiplying the current weight of ``(u, v)`` by ``factor``."""
+        old = graph.weight(u, v)
+        return cls(u, v, old, old * factor)
+
+    @classmethod
+    def setting(cls, graph: Graph, u: int, v: int, new_weight: float) -> "EdgeUpdate":
+        """Create an update setting the weight of ``(u, v)`` to ``new_weight``."""
+        old = graph.weight(u, v)
+        return cls(u, v, old, new_weight)
+
+
+class UpdateBatch:
+    """An ordered batch of edge-weight updates.
+
+    Batches are how the paper's evaluation exercises maintenance: a batch of
+    1,000 random edges is increased (weight x2), the indexes are updated, and
+    the batch is then restored to measure the decrease case.
+    """
+
+    def __init__(self, updates: Iterable[EdgeUpdate] = ()):
+        self._updates: list[EdgeUpdate] = list(updates)
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __iter__(self) -> Iterator[EdgeUpdate]:
+        return iter(self._updates)
+
+    def __getitem__(self, index: int) -> EdgeUpdate:
+        return self._updates[index]
+
+    def append(self, update: EdgeUpdate) -> None:
+        """Add an update to the end of the batch."""
+        self._updates.append(update)
+
+    @property
+    def updates(self) -> Sequence[EdgeUpdate]:
+        """The updates in application order."""
+        return tuple(self._updates)
+
+    def increases(self) -> "UpdateBatch":
+        """The sub-batch of weight increases."""
+        return UpdateBatch(u for u in self._updates if u.kind is UpdateKind.INCREASE)
+
+    def decreases(self) -> "UpdateBatch":
+        """The sub-batch of weight decreases."""
+        return UpdateBatch(u for u in self._updates if u.kind is UpdateKind.DECREASE)
+
+    def reversed(self) -> "UpdateBatch":
+        """The batch that restores every edge to its old weight (reverse order)."""
+        return UpdateBatch(u.reversed() for u in reversed(self._updates))
+
+    def apply(self, graph: Graph) -> None:
+        """Apply every update in order to ``graph``."""
+        for update in self._updates:
+            update.apply(graph)
+
+    def rollback(self, graph: Graph) -> None:
+        """Undo every update (in reverse order) on ``graph``."""
+        self.reversed().apply(graph)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """The distinct edges touched by this batch, in first-touch order."""
+        seen: set[tuple[int, int]] = set()
+        ordered: list[tuple[int, int]] = []
+        for update in self._updates:
+            key = (update.u, update.v) if update.u < update.v else (update.v, update.u)
+            if key not in seen:
+                seen.add(key)
+                ordered.append(key)
+        return ordered

@@ -1,0 +1,11 @@
+"""Stable tree hierarchy (Definition 4.1) and the vertex order it induces."""
+
+from repro.hierarchy.tree import StableTreeHierarchy, TreeNode
+from repro.hierarchy.builder import HierarchyOptions, build_hierarchy
+
+__all__ = [
+    "StableTreeHierarchy",
+    "TreeNode",
+    "HierarchyOptions",
+    "build_hierarchy",
+]

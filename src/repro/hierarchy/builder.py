@@ -1,0 +1,163 @@
+"""Construction of stable tree hierarchies (Definition 4.1, Remark 1).
+
+The construction is the recursive bi-partitioning of HC2L *without* shortcut
+insertion: each recursion step finds a balanced vertex separator of the
+current subgraph, stores it in a tree node, and recurses into the two sides.
+Because no shortcuts are added, the subgraphs stay sparse and the cuts at
+lower levels stay small -- the paper's Remark 1 credits this for both the
+smaller labelling and the cheaper maintenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.graph.graph import Graph
+from repro.hierarchy.tree import StableTreeHierarchy
+from repro.partition.bisection import Bisection, Bisector, HybridBisector, enforce_balance
+from repro.utils.errors import HierarchyError, PartitionError
+
+
+@dataclass
+class HierarchyOptions:
+    """Tuning knobs for stable tree hierarchy construction.
+
+    Attributes
+    ----------
+    beta:
+        Balance parameter of Definition 4.1 (the paper uses 0.2: neither
+        child subtree may exceed 80% of its parent's subtree).
+    leaf_size:
+        Vertex sets of at most this size stop recursing and become leaf
+        nodes.  Smaller leaves give shorter labels for nearby pairs at the
+        cost of a deeper tree.
+    bisector:
+        Partitioning strategy; defaults to :class:`HybridBisector`.
+    order_within_node:
+        How vertices are ordered inside a node: ``"degree"`` (descending
+        degree, so well-connected separator vertices get small label indexes)
+        or ``"id"`` (ascending vertex id, deterministic and order-independent).
+    strict_balance:
+        If True, a bisection violating the balance bound raises
+        :class:`HierarchyError`; if False (default) it is accepted with a
+        recorded violation count (real-world instances occasionally produce a
+        slightly unbalanced cut at tiny subproblems, which is harmless).
+    """
+
+    beta: float = 0.2
+    leaf_size: int = 16
+    bisector: Bisector = field(default_factory=HybridBisector)
+    order_within_node: str = "degree"
+    strict_balance: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 < self.beta <= 0.5:
+            raise ValueError(f"beta must lie in (0, 0.5], got {self.beta}")
+        if self.leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {self.leaf_size}")
+        if self.order_within_node not in ("degree", "id"):
+            raise ValueError(
+                f"order_within_node must be 'degree' or 'id', got {self.order_within_node!r}"
+            )
+
+
+@dataclass
+class BuildReport:
+    """Diagnostics collected while building a hierarchy."""
+
+    num_nodes: int = 0
+    num_leaves: int = 0
+    max_separator: int = 0
+    balance_violations: int = 0
+
+    def record(self, bisection: Bisection, is_leaf: bool, balanced: bool) -> None:
+        self.num_nodes += 1
+        if is_leaf:
+            self.num_leaves += 1
+        self.max_separator = max(self.max_separator, len(bisection.separator))
+        if not balanced:
+            self.balance_violations += 1
+
+
+def build_hierarchy(
+    graph: Graph,
+    options: HierarchyOptions | None = None,
+) -> StableTreeHierarchy:
+    """Build a stable tree hierarchy over every vertex of ``graph``."""
+    hierarchy, _ = build_hierarchy_with_report(graph, options)
+    return hierarchy
+
+
+def build_hierarchy_with_report(
+    graph: Graph,
+    options: HierarchyOptions | None = None,
+) -> tuple[StableTreeHierarchy, BuildReport]:
+    """Build a hierarchy and return the :class:`BuildReport` diagnostics."""
+    options = options or HierarchyOptions()
+    hierarchy = StableTreeHierarchy(graph.num_vertices)
+    report = BuildReport()
+    if graph.num_vertices == 0:
+        return hierarchy, report
+
+    _build_recursive(
+        graph,
+        list(graph.vertices()),
+        parent=-1,
+        is_right=False,
+        hierarchy=hierarchy,
+        options=options,
+        report=report,
+    )
+    hierarchy.finalize()
+    return hierarchy, report
+
+
+def _order_vertices(graph: Graph, vertices: Sequence[int], mode: str) -> list[int]:
+    """Total order applied to the vertices stored inside one tree node."""
+    if mode == "degree":
+        return sorted(vertices, key=lambda v: (-graph.degree(v), v))
+    return sorted(vertices)
+
+
+def _build_recursive(
+    graph: Graph,
+    vertices: list[int],
+    parent: int,
+    is_right: bool,
+    hierarchy: StableTreeHierarchy,
+    options: HierarchyOptions,
+    report: BuildReport,
+) -> None:
+    node = hierarchy.add_node(parent, is_right)
+
+    if len(vertices) <= options.leaf_size:
+        hierarchy.assign_vertices(node, _order_vertices(graph, vertices, options.order_within_node))
+        report.record(Bisection([], list(vertices), []), is_leaf=True, balanced=True)
+        return
+
+    try:
+        bisection = options.bisector.bisect(graph, vertices)
+    except PartitionError as exc:
+        raise HierarchyError(f"bisection failed on {len(vertices)} vertices: {exc}") from exc
+
+    if not bisection.left or not bisection.right:
+        # The partitioner could not split the set (e.g. a dense blob smaller
+        # than any balanced cut); store everything in a single leaf node.
+        hierarchy.assign_vertices(node, _order_vertices(graph, vertices, options.order_within_node))
+        report.record(bisection, is_leaf=True, balanced=True)
+        return
+
+    balanced = enforce_balance(bisection, options.beta)
+    if not balanced and options.strict_balance:
+        raise HierarchyError(
+            f"bisection of {len(vertices)} vertices violates the beta={options.beta} "
+            f"balance bound: sides {len(bisection.left)}/{len(bisection.right)}"
+        )
+    report.record(bisection, is_leaf=False, balanced=balanced)
+
+    hierarchy.assign_vertices(
+        node, _order_vertices(graph, bisection.separator, options.order_within_node)
+    )
+    _build_recursive(graph, bisection.left, node.index, False, hierarchy, options, report)
+    _build_recursive(graph, bisection.right, node.index, True, hierarchy, options, report)

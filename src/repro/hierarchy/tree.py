@@ -1,0 +1,300 @@
+"""The stable tree hierarchy data structure.
+
+A stable tree hierarchy (Definition 4.1 of the paper) is a binary tree whose
+nodes hold vertex separators; it is *structurally independent of edge
+weights*, which is the property that makes efficient maintenance possible.
+The hierarchy induces:
+
+* the vertex partial order ⪯ (Definition 4.3) -- a vertex ``w`` precedes ``v``
+  when ``w``'s tree node is a strict ancestor of ``v``'s, or they share a node
+  and ``w`` comes earlier in the node's internal order;
+* the *label index* τ(v) (Definition 4.4) -- the number of strict ancestors of
+  ``v``, i.e. the position of ``v`` inside its own ancestor chain.  Because a
+  vertex's ancestors form a chain, the label of ``v`` can be stored as a flat
+  array indexed by label index, which is what makes queries cache-friendly and
+  label lookups during maintenance O(1);
+* partition *bitstrings* per node, giving the level of the lowest common
+  ancestor of two vertices in O(1) (Section 4, "Distance Queries").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.utils.errors import HierarchyError
+
+
+@dataclass
+class TreeNode:
+    """One node of a stable tree hierarchy.
+
+    Attributes
+    ----------
+    index:
+        Dense node id (position in :attr:`StableTreeHierarchy.nodes`).
+    parent:
+        Parent node id or ``-1`` for the root.
+    left, right:
+        Child node ids or ``-1`` (leaves have no children).
+    depth:
+        Distance from the root (root has depth 0).
+    bits:
+        Partition bitstring packed into an int; bit ``depth-1`` downto bit 0
+        record the left/right decisions from the root (0 = left, 1 = right).
+    vertices:
+        The separator (or leaf) vertices stored at this node, in the node's
+        internal total order.
+    prefix_count:
+        Number of vertices stored in strict ancestor nodes of this node.
+    path:
+        Node ids from the root down to (and including) this node.
+    """
+
+    index: int
+    parent: int = -1
+    left: int = -1
+    right: int = -1
+    depth: int = 0
+    bits: int = 0
+    vertices: list[int] = field(default_factory=list)
+    prefix_count: int = 0
+    path: list[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node has no children."""
+        return self.left == -1 and self.right == -1
+
+    @property
+    def cumulative_count(self) -> int:
+        """Number of vertices in this node and all its ancestors."""
+        return self.prefix_count + len(self.vertices)
+
+
+class StableTreeHierarchy:
+    """A fully built stable tree hierarchy over a graph's vertex set.
+
+    Instances are produced by :func:`repro.hierarchy.builder.build_hierarchy`
+    and are immutable from the caller's point of view; the structure never
+    changes under edge-weight updates (that is the point of *stability*).
+    """
+
+    def __init__(self, num_vertices: int):
+        self.nodes: list[TreeNode] = []
+        #: node id of each vertex
+        self.node_of: list[int] = [-1] * num_vertices
+        #: label index tau(v) = number of strict ancestors of v
+        self.tau: list[int] = [-1] * num_vertices
+        #: vertices sorted by label order within their ancestor chains;
+        #: rank_order[i] lists every vertex whose label index equals i -- used
+        #: only for statistics, the algorithms index by tau directly.
+        self._num_vertices = num_vertices
+
+    # ------------------------------------------------------------------ #
+    # Construction API (used by the builder)
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, parent: int, is_right_child: bool) -> TreeNode:
+        """Append a new (empty) tree node under ``parent`` and return it."""
+        index = len(self.nodes)
+        if parent == -1:
+            node = TreeNode(index=index, parent=-1, depth=0, bits=0, path=[index])
+        else:
+            parent_node = self.nodes[parent]
+            node = TreeNode(
+                index=index,
+                parent=parent,
+                depth=parent_node.depth + 1,
+                bits=(parent_node.bits << 1) | (1 if is_right_child else 0),
+                path=parent_node.path + [index],
+            )
+            if is_right_child:
+                if parent_node.right != -1:
+                    raise HierarchyError(f"node {parent} already has a right child")
+                parent_node.right = index
+            else:
+                if parent_node.left != -1:
+                    raise HierarchyError(f"node {parent} already has a left child")
+                parent_node.left = index
+        self.nodes.append(node)
+        return node
+
+    def assign_vertices(self, node: TreeNode, vertices: Sequence[int]) -> None:
+        """Store ``vertices`` (in order) at ``node`` and assign their label indexes."""
+        parent = self.nodes[node.parent] if node.parent != -1 else None
+        node.prefix_count = parent.cumulative_count if parent is not None else 0
+        node.vertices = list(vertices)
+        for offset, v in enumerate(node.vertices):
+            if self.node_of[v] != -1:
+                raise HierarchyError(f"vertex {v} assigned to two tree nodes")
+            self.node_of[v] = node.index
+            self.tau[v] = node.prefix_count + offset
+
+    def finalize(self) -> None:
+        """Validate that every vertex has been assigned to exactly one node."""
+        missing = [v for v in range(self._num_vertices) if self.node_of[v] == -1]
+        if missing:
+            raise HierarchyError(
+                f"{len(missing)} vertices were never assigned to a tree node "
+                f"(first few: {missing[:5]})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Read API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices covered by the hierarchy."""
+        return self._num_vertices
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of tree nodes."""
+        return len(self.nodes)
+
+    @property
+    def root(self) -> TreeNode:
+        """The root node."""
+        if not self.nodes:
+            raise HierarchyError("hierarchy has no nodes")
+        return self.nodes[0]
+
+    @property
+    def height(self) -> int:
+        """Maximum label-index depth, i.e. the longest ancestor chain.
+
+        This is the quantity reported as "Tree Height" in Table 4 (h in the
+        complexity bounds of Section 6): the maximum number of ancestors of
+        any vertex.
+        """
+        if not self.nodes:
+            return 0
+        return max(self.tau[v] for v in range(self._num_vertices)) + 1
+
+    @property
+    def node_depth(self) -> int:
+        """Maximum tree-node depth (number of levels of the binary tree)."""
+        if not self.nodes:
+            return 0
+        return max(node.depth for node in self.nodes) + 1
+
+    def label_length(self, v: int) -> int:
+        """Length of the label of ``v`` (``tau(v) + 1``)."""
+        return self.tau[v] + 1
+
+    def node(self, v: int) -> TreeNode:
+        """The tree node holding vertex ``v``."""
+        return self.nodes[self.node_of[v]]
+
+    def ancestors(self, v: int) -> list[int]:
+        """The ancestor chain of ``v`` (inclusive), ordered by label index.
+
+        This is ``Anc(v)`` from the paper.  It is O(tau(v)) and used by tests
+        and statistics; the query/maintenance algorithms never materialise it.
+        """
+        node = self.node(v)
+        chain: list[int] = []
+        for node_id in node.path[:-1]:
+            chain.extend(self.nodes[node_id].vertices)
+        for u in node.vertices:
+            chain.append(u)
+            if u == v:
+                break
+        return chain
+
+    def ancestor_at(self, v: int, label_index: int) -> int:
+        """The unique ancestor of ``v`` with the given label index."""
+        if label_index > self.tau[v] or label_index < 0:
+            raise HierarchyError(
+                f"vertex {v} has no ancestor with label index {label_index}"
+            )
+        node = self.node(v)
+        for node_id in node.path:
+            candidate = self.nodes[node_id]
+            if label_index < candidate.cumulative_count:
+                return candidate.vertices[label_index - candidate.prefix_count]
+        raise AssertionError("label index not found on ancestor path")
+
+    def precedes(self, w: int, v: int) -> bool:
+        """The vertex partial order ⪯ of Definition 4.3 (w ⪯ v)."""
+        if w == v:
+            return True
+        node_w = self.node(w)
+        node_v = self.node(v)
+        if node_w.index == node_v.index:
+            return self.tau[w] <= self.tau[v]
+        # w precedes v iff w's node is a strict ancestor of v's node.
+        depth = node_w.depth
+        if depth >= node_v.depth:
+            return False
+        return node_v.path[depth] == node_w.index
+
+    def descendants(self, r: int) -> list[int]:
+        """``Desc(r)`` -- every vertex ``x`` with ``r ⪯ x`` (O(n), test helper)."""
+        return [x for x in range(self._num_vertices) if self.precedes(r, x)]
+
+    # ------------------------------------------------------------------ #
+    # LCA machinery (bitstrings)
+    # ------------------------------------------------------------------ #
+
+    def lca_node_depth(self, s: int, t: int) -> int:
+        """Depth of the lowest common ancestor node of ℓ(s) and ℓ(t).
+
+        Computed in O(1) from the partition bitstrings, as in HC2L: the depth
+        equals the length of the common prefix of the two bitstrings.
+        """
+        node_s = self.node(s)
+        node_t = self.node(t)
+        depth = min(node_s.depth, node_t.depth)
+        bits_s = node_s.bits >> (node_s.depth - depth)
+        bits_t = node_t.bits >> (node_t.depth - depth)
+        xor = bits_s ^ bits_t
+        if xor == 0:
+            return depth
+        return depth - xor.bit_length()
+
+    def num_common_ancestors(self, s: int, t: int) -> int:
+        """``|Anc(s) ∩ Anc(t)|`` -- the number of label entries a query scans.
+
+        The common ancestors of ``s`` and ``t`` are always a prefix of both
+        ancestor chains, so their count is the minimum of three quantities:
+        the two chain lengths and the cumulative vertex count of the LCA node.
+        """
+        depth = self.lca_node_depth(s, t)
+        node_s = self.node(s)
+        lca_node = self.nodes[node_s.path[depth]]
+        return min(self.tau[s] + 1, self.tau[t] + 1, lca_node.cumulative_count)
+
+    def common_ancestors(self, s: int, t: int) -> list[int]:
+        """The common ancestor vertices ``Ca(s, t)`` (test helper, O(h))."""
+        count = self.num_common_ancestors(s, t)
+        return self.ancestors(s)[:count]
+
+    # ------------------------------------------------------------------ #
+    # Statistics / iteration
+    # ------------------------------------------------------------------ #
+
+    def iter_nodes_topdown(self) -> Iterator[TreeNode]:
+        """Iterate nodes parents-first (construction order guarantees this)."""
+        return iter(self.nodes)
+
+    def vertices_in_label_order(self) -> list[int]:
+        """All vertices ordered by (node depth, node id, in-node position).
+
+        Any linear extension of ⪯ works for label construction; this one
+        processes high-level separators first, which mirrors how the paper
+        describes the construction (top-down over cuts).
+        """
+        ordered: list[int] = []
+        for node in self.nodes:
+            ordered.extend(node.vertices)
+        return ordered
+
+    def separator_sizes_by_depth(self) -> dict[int, list[int]]:
+        """Map from node depth to the list of separator sizes at that depth."""
+        result: dict[int, list[int]] = {}
+        for node in self.nodes:
+            result.setdefault(node.depth, []).append(len(node.vertices))
+        return result

@@ -1,0 +1,35 @@
+"""Balanced graph bisection and vertex-separator extraction.
+
+The stable tree hierarchy (Definition 4.1 of the paper) is built by recursive
+balanced bi-partitioning with vertex separators and *without* shortcut edges.
+This package provides the partitioning machinery:
+
+* :mod:`repro.partition.bisection` -- geometric and BFS-level bisectors,
+* :mod:`repro.partition.refinement` -- Fiduccia--Mattheyses style boundary
+  refinement of edge cuts,
+* :mod:`repro.partition.separator` -- converting edge cuts into small vertex
+  separators and validating them,
+* :mod:`repro.partition.metrics` -- balance / cut-quality metrics.
+"""
+
+from repro.partition.bisection import (
+    Bisection,
+    Bisector,
+    BFSBisector,
+    GeometricBisector,
+    HybridBisector,
+)
+from repro.partition.separator import extract_separator, is_vertex_separator
+from repro.partition.metrics import balance_ratio, edge_cut_size
+
+__all__ = [
+    "Bisection",
+    "Bisector",
+    "BFSBisector",
+    "GeometricBisector",
+    "HybridBisector",
+    "extract_separator",
+    "is_vertex_separator",
+    "balance_ratio",
+    "edge_cut_size",
+]

@@ -1,0 +1,185 @@
+"""Balanced bisectors producing vertex separators.
+
+A :class:`Bisector` splits a vertex subset of a graph into
+``(separator, left, right)`` such that
+
+* removing ``separator`` leaves no edge between ``left`` and ``right``, and
+* both sides respect the balance bound of Definition 4.1.
+
+Two concrete strategies are provided.  :class:`GeometricBisector` uses vertex
+coordinates (available for every synthetic road network and for DIMACS data
+with ``.co`` files) and cuts along the axis of larger spread -- on near-planar
+road networks this yields separators of size roughly ``sqrt(n)``.
+:class:`BFSBisector` needs no geometry and cuts along BFS level sets grown
+from a pseudo-peripheral vertex.  :class:`HybridBisector` picks whichever is
+applicable/better and is the default used by the hierarchy builder.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.algorithms.bfs import bfs_distances, double_sweep_pseudo_peripheral
+from repro.graph.components import connected_components
+from repro.graph.graph import Graph
+from repro.partition.metrics import balance_ratio
+from repro.partition.refinement import refine_bipartition
+from repro.partition.separator import extract_separator
+from repro.utils.errors import PartitionError
+
+
+@dataclass(frozen=True)
+class Bisection:
+    """Result of a bisection: a separator and the two remaining sides."""
+
+    separator: list[int]
+    left: list[int]
+    right: list[int]
+
+    @property
+    def total(self) -> int:
+        """Total number of vertices covered by the bisection."""
+        return len(self.separator) + len(self.left) + len(self.right)
+
+    @property
+    def balance(self) -> float:
+        """Fraction of non-separator vertices on the larger side."""
+        return balance_ratio(self.left, self.right)
+
+
+class Bisector:
+    """Interface for balanced bisection strategies."""
+
+    def bisect(self, graph: Graph, vertices: Sequence[int]) -> Bisection:
+        """Split ``vertices`` into (separator, left, right)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _split_components(graph: Graph, vertices: Sequence[int]) -> Bisection | None:
+        """If the subgraph is disconnected, split whole components (no separator).
+
+        Components are assigned to the two sides greedily largest-first, which
+        keeps the sides balanced whenever no component dominates.  Returns
+        ``None`` when the subgraph is connected.
+        """
+        components = connected_components(graph, vertices)
+        if len(components) <= 1:
+            return None
+        left: list[int] = []
+        right: list[int] = []
+        for component in components:
+            if len(left) <= len(right):
+                left.extend(component)
+            else:
+                right.extend(component)
+        return Bisection([], sorted(left), sorted(right))
+
+    @staticmethod
+    def _finish(
+        graph: Graph,
+        side_a: Sequence[int],
+        side_b: Sequence[int],
+        refine: bool,
+        max_imbalance: float,
+    ) -> Bisection:
+        if refine:
+            side_a, side_b = refine_bipartition(graph, side_a, side_b, max_imbalance)
+        separator, left, right = extract_separator(graph, side_a, side_b)
+        return Bisection(separator, left, right)
+
+
+class GeometricBisector(Bisector):
+    """Median cut along the coordinate axis of larger spread."""
+
+    def __init__(self, refine: bool = True, max_imbalance: float = 0.65):
+        self.refine = refine
+        self.max_imbalance = max_imbalance
+
+    def bisect(self, graph: Graph, vertices: Sequence[int]) -> Bisection:
+        if graph.coordinates is None:
+            raise PartitionError("GeometricBisector requires vertex coordinates")
+        if len(vertices) < 2:
+            return Bisection([], list(vertices), [])
+        split = self._split_components(graph, vertices)
+        if split is not None:
+            return split
+
+        coords = graph.coordinates
+        xs = [coords[v][0] for v in vertices]
+        ys = [coords[v][1] for v in vertices]
+        axis = 0 if (max(xs) - min(xs)) >= (max(ys) - min(ys)) else 1
+        ordered = sorted(vertices, key=lambda v: (coords[v][axis], coords[v][1 - axis], v))
+        half = len(ordered) // 2
+        side_a, side_b = ordered[:half], ordered[half:]
+        return self._finish(graph, side_a, side_b, self.refine, self.max_imbalance)
+
+
+class BFSBisector(Bisector):
+    """Cut along BFS level sets grown from a pseudo-peripheral vertex."""
+
+    def __init__(self, refine: bool = True, max_imbalance: float = 0.65):
+        self.refine = refine
+        self.max_imbalance = max_imbalance
+
+    def bisect(self, graph: Graph, vertices: Sequence[int]) -> Bisection:
+        if len(vertices) < 2:
+            return Bisection([], list(vertices), [])
+        split = self._split_components(graph, vertices)
+        if split is not None:
+            return split
+
+        _, start = double_sweep_pseudo_peripheral(graph, list(vertices))
+        levels = bfs_distances(graph, start, vertices)
+        # All vertices are reachable because the subgraph is connected here.
+        ordered = sorted(vertices, key=lambda v: (levels[v], v))
+        half = len(ordered) // 2
+        side_a, side_b = ordered[:half], ordered[half:]
+        return self._finish(graph, side_a, side_b, self.refine, self.max_imbalance)
+
+
+class HybridBisector(Bisector):
+    """Use geometry when coordinates exist, otherwise fall back to BFS levels.
+
+    When both are applicable the candidate with the smaller separator wins
+    (ties broken toward better balance).  This is the default bisector of
+    :class:`repro.hierarchy.builder.HierarchyOptions`.
+    """
+
+    def __init__(self, refine: bool = True, max_imbalance: float = 0.65, compare_both: bool = False):
+        self.geometric = GeometricBisector(refine, max_imbalance)
+        self.bfs = BFSBisector(refine, max_imbalance)
+        self.compare_both = compare_both
+
+    def bisect(self, graph: Graph, vertices: Sequence[int]) -> Bisection:
+        if graph.coordinates is None:
+            return self.bfs.bisect(graph, vertices)
+        if not self.compare_both:
+            return self.geometric.bisect(graph, vertices)
+        geometric = self.geometric.bisect(graph, vertices)
+        bfs = self.bfs.bisect(graph, vertices)
+        geometric_key = (len(geometric.separator), geometric.balance)
+        bfs_key = (len(bfs.separator), bfs.balance)
+        return geometric if geometric_key <= bfs_key else bfs
+
+
+def enforce_balance(bisection: Bisection, beta: float) -> bool:
+    """Whether a bisection satisfies the Definition 4.1 balance bound.
+
+    The bound is stated on subtree sizes; at construction time we check it on
+    the vertex counts handed to the two children, i.e.
+    ``max(|left|, |right|) <= (1 - beta) * (|left| + |right| + |separator|)``.
+    Degenerate inputs (fewer than two non-separator vertices) always pass.
+    """
+    if not 0 < beta <= 0.5:
+        raise PartitionError(f"beta must lie in (0, 0.5], got {beta}")
+    total = bisection.total
+    if total <= 1 or len(bisection.left) + len(bisection.right) <= 1:
+        return True
+    limit = (1.0 - beta) * total
+    return max(len(bisection.left), len(bisection.right)) <= limit + 1e-9

@@ -1,0 +1,49 @@
+"""Partition quality metrics."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.graph.graph import Graph
+
+
+def balance_ratio(side_a: Sequence[int], side_b: Sequence[int]) -> float:
+    """Fraction of vertices on the larger side (0.5 = perfectly balanced).
+
+    Returns 1.0 when one side is empty and 0.5 for the empty bipartition, so
+    the value can always be compared against the ``1 - beta`` threshold of
+    Definition 4.1.
+    """
+    total = len(side_a) + len(side_b)
+    if total == 0:
+        return 0.5
+    return max(len(side_a), len(side_b)) / total
+
+
+def edge_cut_size(graph: Graph, side_a: Iterable[int], side_b: Iterable[int]) -> int:
+    """Number of edges with one endpoint in each side."""
+    set_a = set(side_a)
+    set_b = set(side_b)
+    count = 0
+    for v in set_a:
+        for nbr, weight in graph.neighbors(v):
+            if math.isinf(weight):
+                continue
+            if nbr in set_b:
+                count += 1
+    return count
+
+
+def boundary_vertices(graph: Graph, side: Iterable[int], other: Iterable[int]) -> list[int]:
+    """Vertices of ``side`` that have at least one neighbour in ``other``."""
+    other_set = set(other)
+    result = []
+    for v in side:
+        for nbr, weight in graph.neighbors(v):
+            if math.isinf(weight):
+                continue
+            if nbr in other_set:
+                result.append(v)
+                break
+    return result

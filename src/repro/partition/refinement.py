@@ -1,0 +1,82 @@
+"""Fiduccia--Mattheyses style refinement of a bipartition.
+
+The geometric and BFS bisectors produce decent but not locally optimal edge
+cuts.  A few passes of greedy boundary moves (move the vertex with the best
+gain to the other side, subject to the balance constraint) noticeably shrink
+the cut on road networks, which in turn shrinks the vertex separators and the
+final label sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+from repro.graph.graph import Graph
+
+
+def refine_bipartition(
+    graph: Graph,
+    side_a: Sequence[int],
+    side_b: Sequence[int],
+    max_imbalance: float = 0.7,
+    max_passes: int = 4,
+) -> tuple[list[int], list[int]]:
+    """Greedily move boundary vertices between sides to reduce the edge cut.
+
+    Parameters
+    ----------
+    max_imbalance:
+        Upper bound on the fraction of vertices the larger side may hold after
+        any move (mirrors the ``1 - beta`` bound of Definition 4.1).
+    max_passes:
+        Number of full passes over the boundary; each pass only applies moves
+        with strictly positive gain, so the procedure terminates quickly.
+    """
+    membership: dict[int, int] = {}
+    for v in side_a:
+        membership[v] = 0
+    for v in side_b:
+        membership[v] = 1
+    sizes = [len(side_a), len(side_b)]
+    total = sizes[0] + sizes[1]
+    if total == 0:
+        return [], []
+    max_side = max(1, int(max_imbalance * total))
+
+    def gain(v: int) -> int:
+        """Cut-size reduction obtained by moving ``v`` to the other side."""
+        own = membership[v]
+        external = internal = 0
+        for nbr, weight in graph.neighbors(v):
+            if math.isinf(weight):
+                continue
+            other = membership.get(nbr)
+            if other is None:
+                continue
+            if other == own:
+                internal += 1
+            else:
+                external += 1
+        return external - internal
+
+    for _ in range(max_passes):
+        moved = False
+        # Iterate over a snapshot: moves during the pass change membership.
+        for v in sorted(membership):
+            own = membership[v]
+            target = 1 - own
+            if sizes[target] + 1 > max_side or sizes[own] <= 1:
+                continue
+            if gain(v) > 0:
+                membership[v] = target
+                sizes[own] -= 1
+                sizes[target] += 1
+                moved = True
+        if not moved:
+            break
+
+    new_a = sorted(v for v, side in membership.items() if side == 0)
+    new_b = sorted(v for v, side in membership.items() if side == 1)
+    return new_a, new_b

@@ -1,0 +1,18 @@
+"""Shared utilities: timing, memory accounting, validation and RNG helpers."""
+
+from repro.utils.timer import Timer, timed
+from repro.utils.rng import make_rng
+from repro.utils.validation import (
+    check_non_negative_weight,
+    check_vertex,
+    check_probability,
+)
+
+__all__ = [
+    "Timer",
+    "timed",
+    "make_rng",
+    "check_non_negative_weight",
+    "check_vertex",
+    "check_probability",
+]

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch library failures without also swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph operations (unknown vertices, bad weights)."""
+
+
+class VertexNotFoundError(GraphError):
+    """Raised when a vertex id is outside the graph's vertex range."""
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when an operation refers to an edge that does not exist."""
+
+
+class InvalidWeightError(GraphError):
+    """Raised when an edge weight is negative, NaN or otherwise invalid."""
+
+
+class PartitionError(ReproError):
+    """Raised when a partitioner cannot produce a valid balanced separator."""
+
+
+class HierarchyError(ReproError):
+    """Raised when a tree hierarchy violates its structural invariants."""
+
+
+class LabellingError(ReproError):
+    """Raised when a distance labelling is inconsistent or incomplete."""
+
+
+class UpdateError(ReproError):
+    """Raised when a dynamic update cannot be applied to an index."""
+
+
+class SerializationError(ReproError):
+    """Raised when an index cannot be saved to or loaded from disk."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload generator receives unsatisfiable parameters."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment driver is misconfigured."""

@@ -1,0 +1,97 @@
+"""Lightweight wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    A ``Timer`` can be started and stopped repeatedly; ``elapsed`` accumulates
+    across runs.  It is deliberately simple -- the experiment harness cares
+    about totals and averages, not about nested profiling.
+
+    Example::
+
+        timer = Timer()
+        with timer.measure():
+            do_work()
+        print(timer.elapsed, timer.count, timer.average)
+    """
+
+    elapsed: float = 0.0
+    count: int = 0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        """Start (or restart) the timer."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the timer and return the duration of the last run in seconds."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before Timer.start()")
+        duration = time.perf_counter() - self._start
+        self.elapsed += duration
+        self.count += 1
+        self._start = None
+        return duration
+
+    @contextmanager
+    def measure(self):
+        """Context manager measuring one run."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+    @property
+    def average(self) -> float:
+        """Average seconds per measured run (0.0 if nothing was measured)."""
+        if self.count == 0:
+            return 0.0
+        return self.elapsed / self.count
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Total elapsed time in milliseconds."""
+        return self.elapsed * 1e3
+
+    @property
+    def average_ms(self) -> float:
+        """Average milliseconds per measured run."""
+        return self.average * 1e3
+
+    @property
+    def average_us(self) -> float:
+        """Average microseconds per measured run."""
+        return self.average * 1e6
+
+    def reset(self) -> None:
+        """Forget all accumulated measurements."""
+        self.elapsed = 0.0
+        self.count = 0
+        self._start = None
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a single-run :class:`Timer`.
+
+    Example::
+
+        with timed() as t:
+            do_work()
+        print(t.elapsed)
+    """
+    timer = Timer()
+    timer.start()
+    try:
+        yield timer
+    finally:
+        timer.stop()

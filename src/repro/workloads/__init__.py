@@ -1,0 +1,23 @@
+"""Workload generation: datasets, query sets and update batches."""
+
+from repro.workloads.datasets import DATASETS, DatasetSpec, build_dataset
+from repro.workloads.queries import (
+    random_query_pairs,
+    distance_stratified_query_sets,
+)
+from repro.workloads.updates import (
+    random_update_batch,
+    scaling_update_batches,
+    mixed_update_stream,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "build_dataset",
+    "random_query_pairs",
+    "distance_stratified_query_sets",
+    "random_update_batch",
+    "scaling_update_batches",
+    "mixed_update_stream",
+]

@@ -1,0 +1,131 @@
+"""Query workloads: random pairs and distance-stratified sets Q1..Q10.
+
+The paper evaluates query time on one million random pairs (Table 5) and on
+ten distance-stratified sets (Figure 9): with ``l_min = 1000`` metres and
+``l_max`` the network diameter, set ``Q_i`` contains pairs whose distance
+falls in ``(l_min * x^(i-1), l_min * x^i]`` for ``x = (l_max / l_min)^(1/10)``.
+We reproduce both generators, scaled down in count.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from repro.algorithms.dijkstra import dijkstra
+from repro.graph.graph import Graph
+from repro.utils.errors import WorkloadError
+from repro.utils.rng import make_rng
+
+
+def random_query_pairs(
+    graph: Graph,
+    count: int,
+    seed: int | random.Random | None = 0,
+    distinct: bool = True,
+) -> list[tuple[int, int]]:
+    """Uniformly random source/target pairs (the Table 5 workload)."""
+    if graph.num_vertices < 2:
+        raise WorkloadError("graph must have at least two vertices")
+    rng = make_rng(seed)
+    pairs: list[tuple[int, int]] = []
+    n = graph.num_vertices
+    while len(pairs) < count:
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        if distinct and s == t:
+            continue
+        pairs.append((s, t))
+    return pairs
+
+
+def estimate_max_distance(
+    graph: Graph, samples: int = 8, seed: int | random.Random | None = 0
+) -> float:
+    """Approximate the weighted diameter by a few full Dijkstra sweeps."""
+    rng = make_rng(seed)
+    best = 0.0
+    n = graph.num_vertices
+    source = rng.randrange(n)
+    for _ in range(max(1, samples)):
+        distances = dijkstra(graph, source)
+        finite = [(d, v) for v, d in enumerate(distances) if not math.isinf(d)]
+        if not finite:
+            break
+        far_distance, far_vertex = max(finite)
+        best = max(best, far_distance)
+        source = far_vertex
+    return best
+
+
+def distance_stratified_query_sets(
+    graph: Graph,
+    num_sets: int = 10,
+    pairs_per_set: int = 100,
+    l_min: float | None = None,
+    seed: int | random.Random | None = 0,
+    max_attempts_factor: int = 400,
+) -> list[list[tuple[int, int]]]:
+    """Query sets ``Q_1 .. Q_{num_sets}`` stratified by geometric distance buckets.
+
+    Mirrors the paper's generation: bucket ``i`` holds pairs whose distance
+    lies in ``(l_min * x^(i-1), l_min * x^i]`` with ``x = (l_max/l_min)^(1/num_sets)``.
+    ``l_min`` defaults to roughly 2% of the estimated diameter, which plays
+    the role of the paper's 1 km on continental networks.
+
+    Pairs are found by sampling sources, running a Dijkstra sweep from each
+    source and binning the reachable targets.  Buckets that cannot be filled
+    (tiny graphs) are padded with their closest available pairs.
+    """
+    if num_sets < 1:
+        raise WorkloadError("num_sets must be at least 1")
+    rng = make_rng(seed)
+    l_max = estimate_max_distance(graph, seed=rng)
+    if l_max <= 0:
+        raise WorkloadError("graph diameter is zero; cannot stratify queries")
+    if l_min is None:
+        l_min = max(l_max * 0.02, 1.0)
+    if l_min >= l_max:
+        l_min = l_max / (num_sets + 1)
+    growth = (l_max / l_min) ** (1.0 / num_sets)
+
+    boundaries = [l_min * growth**i for i in range(num_sets + 1)]
+    buckets: list[list[tuple[int, int]]] = [[] for _ in range(num_sets)]
+    n = graph.num_vertices
+
+    attempts = 0
+    max_attempts = max_attempts_factor
+    while attempts < max_attempts and any(len(b) < pairs_per_set for b in buckets):
+        attempts += 1
+        source = rng.randrange(n)
+        distances = dijkstra(graph, source)
+        candidates = list(range(n))
+        rng.shuffle(candidates)
+        for target in candidates:
+            d = distances[target]
+            if target == source or math.isinf(d) or d <= 0:
+                continue
+            index = _bucket_index(d, boundaries)
+            if index is not None and len(buckets[index]) < pairs_per_set:
+                buckets[index].append((source, target))
+
+    for index, bucket in enumerate(buckets):
+        if not bucket:
+            # Tiny graphs may have empty extreme buckets; reuse neighbouring
+            # buckets so every Q_i is non-empty for the harness.
+            donor = next((b for b in reversed(buckets[:index]) if b), None) or next(
+                (b for b in buckets[index + 1 :] if b), None
+            )
+            if donor:
+                bucket.extend(donor[:pairs_per_set])
+    return buckets
+
+
+def _bucket_index(distance: float, boundaries: Sequence[float]) -> int | None:
+    if distance <= boundaries[0]:
+        return 0
+    for i in range(len(boundaries) - 1):
+        if boundaries[i] < distance <= boundaries[i + 1]:
+            return i
+    return len(boundaries) - 2 if distance > boundaries[-1] else None

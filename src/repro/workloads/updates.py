@@ -1,0 +1,109 @@
+"""Update workloads reproducing the paper's test-input generation (Section 7).
+
+* :func:`random_update_batch` -- a batch of random edges whose weights are
+  multiplied by a factor (2.0 in Table 3) and later restored,
+* :func:`scaling_update_batches` -- the Figure 8 workload: batch ``t`` scales
+  its edges by ``t + 1`` before restoring them,
+* :func:`mixed_update_stream` -- the Figure 10 workload: a long stream of
+  updates processed in groups of growing size (increases then decreases).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.graph import Graph
+from repro.graph.updates import EdgeUpdate, UpdateBatch
+from repro.utils.errors import WorkloadError
+from repro.utils.rng import make_rng
+
+
+def _sample_edges(
+    graph: Graph, count: int, rng: random.Random
+) -> list[tuple[int, int, float]]:
+    edges = list(graph.edges())
+    if not edges:
+        raise WorkloadError("graph has no edges to update")
+    if count <= len(edges):
+        return rng.sample(edges, count)
+    # Small graphs: sample with replacement rather than fail.
+    return [edges[rng.randrange(len(edges))] for _ in range(count)]
+
+
+def random_update_batch(
+    graph: Graph,
+    batch_size: int,
+    factor: float = 2.0,
+    seed: int | random.Random | None = 0,
+) -> tuple[UpdateBatch, UpdateBatch]:
+    """One Table 3 batch: ``(increase_batch, restore_batch)``.
+
+    The increase batch multiplies each sampled edge's weight by ``factor``;
+    the restore batch brings the weights back to their original values (the
+    paper's weight-decrease measurement).
+    """
+    if factor <= 1.0:
+        raise WorkloadError(f"factor must exceed 1.0, got {factor}")
+    rng = make_rng(seed)
+    sampled = _sample_edges(graph, batch_size, rng)
+    seen: set[tuple[int, int]] = set()
+    increases = UpdateBatch()
+    decreases = UpdateBatch()
+    for u, v, w in sampled:
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        increased = w * factor
+        increases.append(EdgeUpdate(u, v, w, increased))
+        decreases.append(EdgeUpdate(u, v, increased, w))
+    return increases, decreases
+
+
+def scaling_update_batches(
+    graph: Graph,
+    num_batches: int = 9,
+    batch_size: int = 100,
+    seed: int | random.Random | None = 0,
+) -> list[tuple[float, UpdateBatch, UpdateBatch]]:
+    """The Figure 8 workload: batch ``t`` (1-based) scales weights by ``t + 1``.
+
+    Returns a list of ``(factor, increase_batch, restore_batch)`` triples.
+    """
+    rng = make_rng(seed)
+    batches = []
+    for t in range(1, num_batches + 1):
+        factor = float(t + 1)
+        increases, decreases = random_update_batch(graph, batch_size, factor, seed=rng)
+        batches.append((factor, increases, decreases))
+    return batches
+
+
+def mixed_update_stream(
+    graph: Graph,
+    total_updates: int,
+    factor: float = 2.0,
+    seed: int | random.Random | None = 0,
+) -> UpdateBatch:
+    """The Figure 10 stream: ``total_updates`` edges, increased then restored.
+
+    The returned batch contains ``2 * total_updates`` updates: first every
+    sampled edge's increase, then the corresponding decreases, matching the
+    paper's "apply the weight increases, followed by weight decreases".
+    """
+    rng = make_rng(seed)
+    sampled = _sample_edges(graph, total_updates, rng)
+    seen: set[tuple[int, int]] = set()
+    stream = UpdateBatch()
+    restores: list[EdgeUpdate] = []
+    for u, v, w in sampled:
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        increased = w * factor
+        stream.append(EdgeUpdate(u, v, w, increased))
+        restores.append(EdgeUpdate(u, v, increased, w))
+    for update in restores:
+        stream.append(update)
+    return stream

@@ -1,0 +1,36 @@
+"""Unit tests for A* search."""
+
+import math
+
+import pytest
+
+from repro.algorithms.astar import astar_distance
+from repro.graph.graph import Graph
+from repro.utils.errors import GraphError
+from tests.conftest import nx_all_pairs
+
+
+def test_requires_coordinates():
+    graph = Graph.from_edges(2, [(0, 1, 1.0)])
+    with pytest.raises(GraphError):
+        astar_distance(graph, 0, 1)
+
+
+def test_matches_dijkstra_with_admissible_heuristic(small_grid):
+    # Generator weights are ~10x the Euclidean distance, so max_speed=1
+    # (heuristic = distance / 1) is strongly admissible.
+    truth = nx_all_pairs(small_grid)
+    n = small_grid.num_vertices
+    for s, t in [(0, n - 1), (5, n // 2), (n // 3, 2 * n // 3)]:
+        assert astar_distance(small_grid, s, t, max_speed=1.0) == pytest.approx(truth[s][t])
+
+
+def test_same_vertex(small_grid):
+    assert astar_distance(small_grid, 4, 4) == 0.0
+
+
+def test_unreachable_returns_inf():
+    graph = Graph(4, coordinates=[(0, 0), (1, 0), (5, 5), (6, 5)])
+    graph.add_edge(0, 1, 1.0)
+    graph.add_edge(2, 3, 1.0)
+    assert math.isinf(astar_distance(graph, 0, 3, max_speed=1.0))

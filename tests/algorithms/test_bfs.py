@@ -1,0 +1,40 @@
+"""Unit tests for BFS utilities."""
+
+import math
+
+from repro.algorithms.bfs import bfs_distances, bfs_order, double_sweep_pseudo_peripheral
+from repro.graph.graph import Graph
+
+
+def test_bfs_distances_hop_counts(path_graph):
+    dist = bfs_distances(path_graph, 0)
+    assert dist == {i: i for i in range(6)}
+
+
+def test_bfs_distances_restricted():
+    graph = Graph.from_edges(5, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+    dist = bfs_distances(graph, 0, allowed=[0, 1, 2])
+    assert set(dist) == {0, 1, 2}
+
+
+def test_bfs_ignores_infinite_edges():
+    graph = Graph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+    graph.set_weight(1, 2, math.inf)
+    assert set(bfs_distances(graph, 0)) == {0, 1}
+
+
+def test_bfs_order_starts_at_source(small_grid):
+    order = bfs_order(small_grid, 3)
+    assert order[0] == 3
+    assert len(order) == small_grid.num_vertices
+    assert len(set(order)) == len(order)
+
+
+def test_double_sweep_finds_distant_pair(path_graph):
+    a, b = double_sweep_pseudo_peripheral(path_graph, list(range(6)))
+    assert {a, b} == {0, 5}
+
+
+def test_double_sweep_on_single_vertex():
+    graph = Graph(1)
+    assert double_sweep_pseudo_peripheral(graph, [0]) == (0, 0)

@@ -1,0 +1,43 @@
+"""Unit tests for bidirectional Dijkstra."""
+
+import math
+
+import pytest
+
+from repro.algorithms.bidirectional import bidirectional_dijkstra
+from repro.graph.graph import Graph
+from tests.conftest import nx_all_pairs
+
+
+def test_matches_ground_truth_on_grid(small_grid):
+    truth = nx_all_pairs(small_grid)
+    n = small_grid.num_vertices
+    for s in range(0, n, 9):
+        for t in range(0, n, 11):
+            expected = truth[s].get(t, math.inf)
+            assert bidirectional_dijkstra(small_grid, s, t) == pytest.approx(expected)
+
+
+def test_matches_ground_truth_on_random(seeded_random_graph):
+    truth = nx_all_pairs(seeded_random_graph)
+    n = seeded_random_graph.num_vertices
+    for s in range(0, n, 5):
+        for t in range(0, n, 7):
+            expected = truth[s].get(t, math.inf)
+            assert bidirectional_dijkstra(seeded_random_graph, s, t) == pytest.approx(expected)
+
+
+def test_identical_endpoints():
+    graph = Graph.from_edges(2, [(0, 1, 3.0)])
+    assert bidirectional_dijkstra(graph, 1, 1) == 0.0
+
+
+def test_disconnected_returns_inf():
+    graph = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    assert math.isinf(bidirectional_dijkstra(graph, 0, 2))
+
+
+def test_shortcut_vs_long_path():
+    # Direct edge is worse than the detour; both searches must meet correctly.
+    graph = Graph.from_edges(4, [(0, 3, 10.0), (0, 1, 2.0), (1, 2, 2.0), (2, 3, 2.0)])
+    assert bidirectional_dijkstra(graph, 0, 3) == 6.0

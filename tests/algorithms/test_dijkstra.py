@@ -1,0 +1,86 @@
+"""Unit tests for Dijkstra variants against networkx ground truth."""
+
+import math
+
+import pytest
+
+from repro.algorithms.dijkstra import (
+    dijkstra,
+    dijkstra_rank_restricted,
+    dijkstra_subset,
+    dijkstra_with_target,
+)
+from repro.graph.graph import Graph
+from tests.conftest import nx_all_pairs
+
+
+class TestSingleSource:
+    def test_matches_networkx(self, small_grid):
+        truth = nx_all_pairs(small_grid)
+        for source in range(0, small_grid.num_vertices, 7):
+            dist = dijkstra(small_grid, source)
+            for target, expected in truth[source].items():
+                assert dist[target] == pytest.approx(expected)
+
+    def test_unreachable_is_inf(self):
+        graph = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        dist = dijkstra(graph, 0)
+        assert dist[1] == 1.0
+        assert math.isinf(dist[2])
+
+    def test_parents_reconstruct_tree(self, small_random):
+        dist, parent = dijkstra(small_random, 0, with_parents=True)
+        for v in range(1, small_random.num_vertices):
+            if math.isinf(dist[v]):
+                assert parent[v] == -1
+                continue
+            p = parent[v]
+            assert p != -1
+            assert dist[v] == pytest.approx(dist[p] + small_random.weight(p, v))
+
+    def test_infinite_edges_skipped(self):
+        graph = Graph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        graph.set_weight(1, 2, math.inf)
+        dist = dijkstra(graph, 0)
+        assert math.isinf(dist[2])
+
+
+class TestSinglePair:
+    def test_matches_full_search(self, small_grid):
+        truth = nx_all_pairs(small_grid)
+        pairs = [(0, small_grid.num_vertices - 1), (3, 17), (10, 42)]
+        for s, t in pairs:
+            assert dijkstra_with_target(small_grid, s, t) == pytest.approx(truth[s][t])
+
+    def test_same_vertex_is_zero(self, small_grid):
+        assert dijkstra_with_target(small_grid, 5, 5) == 0.0
+
+    def test_disconnected_pair(self):
+        graph = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        assert math.isinf(dijkstra_with_target(graph, 0, 3))
+
+
+class TestRestrictedSearches:
+    def test_rank_restricted_respects_threshold(self, small_random):
+        rank = list(range(small_random.num_vertices))
+        source = 10
+        reached = dijkstra_rank_restricted(small_random, source, rank)
+        assert reached[source] == 0.0
+        assert all(rank[v] >= rank[source] for v in reached)
+
+    def test_rank_restricted_equals_subgraph_dijkstra(self, small_random):
+        rank = [v % 5 for v in range(small_random.num_vertices)]
+        source = 7
+        threshold = rank[source]
+        reached = dijkstra_rank_restricted(small_random, source, rank)
+        allowed = {v for v in range(small_random.num_vertices) if rank[v] >= threshold}
+        sub, mapping = small_random.induced_subgraph(allowed)
+        sub_dist = dijkstra(sub, mapping[source])
+        for v, d in reached.items():
+            assert d == pytest.approx(sub_dist[mapping[v]])
+
+    def test_subset_search(self, small_random):
+        allowed = set(range(0, small_random.num_vertices, 2)) | {1}
+        result = dijkstra_subset(small_random, 1, lambda v: v in allowed)
+        assert result[1] == 0.0
+        assert all(v in allowed or v == 1 for v in result)

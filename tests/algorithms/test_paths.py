@@ -1,0 +1,38 @@
+"""Unit tests for path reconstruction helpers."""
+
+import pytest
+
+from repro.algorithms.dijkstra import dijkstra
+from repro.algorithms.paths import is_valid_path, path_weight, reconstruct_path
+from repro.graph.graph import Graph
+
+
+def test_reconstruct_path_from_dijkstra(small_grid):
+    dist, parent = dijkstra(small_grid, 0, with_parents=True)
+    target = small_grid.num_vertices - 1
+    path = reconstruct_path(parent, 0, target)
+    assert path[0] == 0
+    assert path[-1] == target
+    assert is_valid_path(small_grid, path)
+    assert path_weight(small_grid, path) == pytest.approx(dist[target])
+
+
+def test_reconstruct_path_same_vertex():
+    assert reconstruct_path([-1], 0, 0) == [0]
+
+
+def test_reconstruct_unreachable_returns_empty():
+    assert reconstruct_path([-1, -1], 0, 1) == []
+
+
+def test_path_weight_requires_edges():
+    graph = Graph.from_edges(3, [(0, 1, 1.0)])
+    with pytest.raises(Exception):
+        path_weight(graph, [0, 2])
+
+
+def test_is_valid_path():
+    graph = Graph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+    assert is_valid_path(graph, [0, 1, 2])
+    assert not is_valid_path(graph, [0, 2])
+    assert is_valid_path(graph, [1])

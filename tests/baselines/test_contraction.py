@@ -1,0 +1,65 @@
+"""Unit tests for contraction hierarchies (CH and CH-W)."""
+
+import math
+
+import pytest
+
+from repro.baselines.contraction import ContractionHierarchy
+from repro.graph.graph import Graph
+from tests.conftest import nx_all_pairs
+
+
+class TestConstruction:
+    def test_order_is_a_permutation(self, small_random):
+        ch = ContractionHierarchy(small_random)
+        assert sorted(ch.order) == list(range(small_random.num_vertices))
+        assert all(ch.order[ch.rank[v]] == v for v in range(small_random.num_vertices))
+
+    def test_shortcut_graph_contains_original_edges(self, small_random):
+        ch = ContractionHierarchy(small_random)
+        for u, v, w in small_random.edges():
+            assert ch.shortcuts[u][v] <= w
+
+    def test_chw_has_at_least_as_many_shortcuts_as_ch(self, small_grid):
+        chw = ContractionHierarchy(small_grid, witness_search=False)
+        ch = ContractionHierarchy(small_grid, witness_search=True)
+        assert chw.num_shortcut_edges() >= ch.num_shortcut_edges()
+
+    def test_bag_structure(self, small_random):
+        ch = ContractionHierarchy(small_random)
+        for v in range(small_random.num_vertices):
+            higher = ch.higher_neighbors(v)
+            lower = ch.lower_neighbors(v)
+            assert all(ch.rank[u] > ch.rank[v] for u, _ in higher)
+            assert all(ch.rank[u] < ch.rank[v] for u, _ in lower)
+            assert len(higher) + len(lower) == len(ch.shortcuts[v])
+
+    def test_max_bag_size_reasonable_on_grid(self, small_grid):
+        ch = ContractionHierarchy(small_grid, witness_search=False)
+        assert ch.max_bag_size() <= small_grid.num_vertices // 2
+
+
+class TestQueries:
+    @pytest.mark.parametrize("witness_search", [False, True])
+    def test_all_pairs_match_truth(self, seeded_random_graph, witness_search):
+        ch = ContractionHierarchy(seeded_random_graph, witness_search=witness_search)
+        truth = nx_all_pairs(seeded_random_graph)
+        n = seeded_random_graph.num_vertices
+        for s in range(0, n, 3):
+            for t in range(0, n, 4):
+                expected = truth[s].get(t, math.inf)
+                assert ch.query(s, t) == pytest.approx(expected)
+
+    def test_grid_queries(self, small_grid):
+        ch = ContractionHierarchy(small_grid, witness_search=False)
+        truth = nx_all_pairs(small_grid)
+        for s, t in [(0, 63), (5, 40), (17, 22), (3, 3)]:
+            s = min(s, small_grid.num_vertices - 1)
+            t = min(t, small_grid.num_vertices - 1)
+            assert ch.query(s, t) == pytest.approx(truth[s].get(t, math.inf))
+
+    def test_disconnected_graph(self):
+        graph = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 2.0)])
+        ch = ContractionHierarchy(graph)
+        assert math.isinf(ch.query(0, 3))
+        assert ch.query(2, 3) == 2.0

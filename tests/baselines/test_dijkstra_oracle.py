@@ -1,0 +1,35 @@
+"""Unit tests for the index-free Dijkstra oracle."""
+
+import pytest
+
+from repro.baselines.dijkstra_oracle import DijkstraOracle
+from repro.graph.updates import EdgeUpdate
+from tests.conftest import nx_all_pairs
+
+
+def test_queries_match_truth(small_grid):
+    oracle = DijkstraOracle.build(small_grid)
+    truth = nx_all_pairs(small_grid)
+    for s, t in [(0, 10), (5, 40), (3, 3)]:
+        assert oracle.query(s, t) == pytest.approx(truth[s].get(t))
+
+
+def test_unidirectional_mode(small_grid):
+    oracle = DijkstraOracle.build(small_grid, bidirectional=False)
+    truth = nx_all_pairs(small_grid)
+    assert oracle.query(0, 20) == pytest.approx(truth[0][20])
+
+
+def test_updates_are_instant_and_reflected(small_grid):
+    graph = small_grid.copy()
+    oracle = DijkstraOracle.build(graph)
+    u, v, w = max(graph.edges(), key=lambda e: e[2])
+    oracle.apply_batch([EdgeUpdate(u, v, w, 1.0)])
+    assert graph.weight(u, v) == 1.0
+    assert oracle.query(u, v) == 1.0
+
+
+def test_stats_report_zero_size(small_grid):
+    stats = DijkstraOracle.build(small_grid).stats()
+    assert stats.num_label_entries == 0
+    assert stats.bytes_total == 0

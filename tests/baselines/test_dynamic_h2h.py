@@ -1,0 +1,86 @@
+"""Unit tests for IncH2H and DTDHL dynamic maintenance."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.dtdhl import DTDHL
+from repro.baselines.inch2h import IncH2H
+from repro.graph.updates import EdgeUpdate
+from tests.conftest import nx_all_pairs
+
+
+def _assert_index_exact(index, graph, stride=4):
+    truth = nx_all_pairs(graph)
+    for s in range(0, graph.num_vertices, stride):
+        for t in range(0, graph.num_vertices, stride - 1):
+            expected = truth[s].get(t, math.inf)
+            assert index.query(s, t) == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("cls", [IncH2H, DTDHL])
+class TestDynamicMaintenance:
+    def test_single_increase(self, small_grid, cls):
+        graph = small_grid.copy()
+        index = cls.build(graph)
+        u, v, w = min(graph.edges(), key=lambda e: e[2])
+        index.apply_update(EdgeUpdate(u, v, w, w * 4))
+        _assert_index_exact(index, graph)
+
+    def test_single_decrease(self, small_grid, cls):
+        graph = small_grid.copy()
+        index = cls.build(graph)
+        u, v, w = max(graph.edges(), key=lambda e: e[2])
+        index.apply_update(EdgeUpdate(u, v, w, 1.0))
+        _assert_index_exact(index, graph)
+
+    def test_batch_of_updates(self, small_grid, cls):
+        graph = small_grid.copy()
+        index = cls.build(graph)
+        edges = list(graph.edges())[:4]
+        index.apply_batch([EdgeUpdate(u, v, w, w * 2) for u, v, w in edges])
+        _assert_index_exact(index, graph)
+
+    def test_random_sequence(self, small_grid, cls):
+        graph = small_grid.copy()
+        index = cls.build(graph)
+        rng = random.Random(7)
+        edges = list(graph.edges())
+        for _ in range(12):
+            u, v, _ = edges[rng.randrange(len(edges))]
+            w = graph.weight(u, v)
+            new_w = w * 2 if rng.random() < 0.5 else max(1.0, w // 2)
+            if new_w == w:
+                continue
+            index.apply_update(EdgeUpdate(u, v, w, float(new_w)))
+        _assert_index_exact(index, graph, stride=5)
+
+    def test_update_returns_stats(self, small_grid, cls):
+        graph = small_grid.copy()
+        index = cls.build(graph)
+        u, v, w = next(iter(graph.edges()))
+        stats = index.apply_update(EdgeUpdate(u, v, w, w * 2))
+        assert stats.updates_processed == 1
+
+
+class TestRelativeBehaviour:
+    def test_inch2h_memory_larger_than_dtdhl(self, small_grid):
+        inch2h = IncH2H.build(small_grid.copy())
+        dtdhl = DTDHL.build(small_grid.copy())
+        assert inch2h.stats().bytes_total > dtdhl.stats().bytes_total
+        assert inch2h.stats().num_label_entries == dtdhl.stats().num_label_entries
+
+    def test_inch2h_touches_fewer_labels_than_dtdhl(self, medium_grid):
+        """The pruned maintenance must not do more label work than the full one."""
+        inch2h = IncH2H.build(medium_grid.copy())
+        dtdhl = DTDHL.build(medium_grid.copy())
+        rng = random.Random(3)
+        edges = list(medium_grid.edges())
+        inch2h_work = dtdhl_work = 0
+        for _ in range(6):
+            u, v, w = edges[rng.randrange(len(edges))]
+            update = EdgeUpdate(u, v, w, w * 3)
+            inch2h_work += inch2h.apply_update(update).vertices_affected
+            dtdhl_work += dtdhl.apply_update(update).vertices_affected
+        assert inch2h_work <= dtdhl_work

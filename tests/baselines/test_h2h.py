@@ -1,0 +1,61 @@
+"""Unit tests for the static H2H index."""
+
+import math
+
+import pytest
+
+from repro.baselines.h2h import H2HIndex
+from tests.conftest import nx_all_pairs
+
+
+@pytest.fixture
+def index(small_grid):
+    return H2HIndex.build(small_grid)
+
+
+def test_all_pairs_match_truth(index, small_grid):
+    truth = nx_all_pairs(small_grid)
+    for s in range(small_grid.num_vertices):
+        for t in range(0, small_grid.num_vertices, 3):
+            expected = truth[s].get(t, math.inf)
+            assert index.query(s, t) == pytest.approx(expected)
+
+
+def test_random_graphs(seeded_random_graph):
+    index = H2HIndex.build(seeded_random_graph)
+    truth = nx_all_pairs(seeded_random_graph)
+    n = seeded_random_graph.num_vertices
+    for s in range(0, n, 2):
+        for t in range(0, n, 3):
+            assert index.query(s, t) == pytest.approx(truth[s].get(t, math.inf))
+
+
+def test_lca_is_a_common_ancestor(index, small_grid):
+    td = index.td
+    for s, t in [(0, 20), (5, 33), (11, 48)]:
+        ancestor = index.lca(s, t)
+        assert td.is_ancestor(ancestor, s)
+        assert td.is_ancestor(ancestor, t)
+
+
+def test_distance_arrays_match_truth(index, small_grid):
+    truth = nx_all_pairs(small_grid)
+    for v in range(0, small_grid.num_vertices, 6):
+        chain = index.anc[v]
+        for depth, ancestor in enumerate(chain):
+            assert index.dist[v][depth] == pytest.approx(truth[v][ancestor])
+
+
+def test_pos_points_at_bag_depths(index):
+    td = index.td
+    for v in range(0, len(index.pos), 7):
+        bag_depths = {td.depth[u] for u, _ in td.bag[v]} | {td.depth[v]}
+        assert set(index.pos[v]) == bag_depths
+
+
+def test_stats_shape(index, small_grid):
+    stats = index.stats()
+    assert stats.num_vertices == small_grid.num_vertices
+    assert stats.num_label_entries == sum(len(d) for d in index.dist)
+    assert stats.tree_height == index.td.height
+    assert stats.bytes_total > 4 * stats.num_label_entries  # aux data counted

@@ -1,0 +1,68 @@
+"""Unit tests for the HC2L static baseline."""
+
+import math
+
+import pytest
+
+from repro.baselines.hc2l import HC2L
+from repro.core.stl import StableTreeLabelling
+from repro.hierarchy.builder import HierarchyOptions
+from tests.conftest import nx_all_pairs
+
+
+@pytest.fixture
+def index(small_grid):
+    return HC2L.build(small_grid, leaf_size=8)
+
+
+def test_all_pairs_match_truth(index, small_grid):
+    truth = nx_all_pairs(small_grid)
+    for s in range(small_grid.num_vertices):
+        for t in range(0, small_grid.num_vertices, 3):
+            expected = truth[s].get(t, math.inf)
+            assert index.query(s, t) == pytest.approx(expected)
+
+
+def test_random_graphs(seeded_random_graph):
+    index = HC2L.build(seeded_random_graph, leaf_size=5)
+    truth = nx_all_pairs(seeded_random_graph)
+    n = seeded_random_graph.num_vertices
+    for s in range(n):
+        for t in range(0, n, 2):
+            assert index.query(s, t) == pytest.approx(truth[s].get(t, math.inf))
+
+
+def test_labels_store_global_distances(index, small_grid):
+    """Unlike STL, HC2L entries equal distances in the whole graph."""
+    truth = nx_all_pairs(small_grid)
+    hierarchy = index.hierarchy
+    for v in range(0, small_grid.num_vertices, 6):
+        chain = hierarchy.ancestors(v)
+        for position, ancestor in enumerate(chain):
+            entry = index.labels[v][position]
+            if not math.isinf(entry):
+                assert entry == pytest.approx(truth[v][ancestor])
+
+
+def test_hc2l_labels_at_least_as_large_as_stl(small_city):
+    """Shortcuts densify the subgraphs, so HC2L cuts/labels dominate STL's."""
+    stl = StableTreeLabelling.build(small_city.copy(), HierarchyOptions(leaf_size=8))
+    hc2l = HC2L.build(small_city.copy(), leaf_size=8)
+    assert hc2l.num_label_entries() >= stl.labels.num_entries()
+
+
+def test_stats(index, small_grid):
+    stats = index.stats()
+    assert stats.method == "HC2L"
+    assert stats.num_label_entries == index.num_label_entries()
+    assert stats.tree_height == index.hierarchy.height
+    assert stats.construction_seconds > 0
+
+
+def test_disconnected_graph():
+    from repro.graph.graph import Graph
+
+    graph = Graph.from_edges(6, [(0, 1, 1.0), (1, 2, 2.0), (3, 4, 1.0), (4, 5, 2.0)])
+    index = HC2L.build(graph, leaf_size=2)
+    assert index.query(0, 2) == 3.0
+    assert math.isinf(index.query(0, 5))

@@ -1,0 +1,55 @@
+"""Unit tests for the CH-W induced tree decomposition."""
+
+from repro.baselines.contraction import ContractionHierarchy
+from repro.baselines.tree_decomposition import TreeDecomposition
+
+
+def _decomposition(graph):
+    return TreeDecomposition(ContractionHierarchy(graph, witness_search=False))
+
+
+def test_single_tree_with_root_last_in_order(small_random):
+    td = _decomposition(small_random)
+    assert td.parent[td.root] == -1
+    assert len(td.topdown_order) == small_random.num_vertices
+    assert td.topdown_order[0] == td.root
+
+
+def test_bag_vertices_are_ancestors(small_random):
+    """The defining H2H property: every bag member is a tree ancestor."""
+    td = _decomposition(small_random)
+    for v in range(small_random.num_vertices):
+        for u, _ in td.bag[v]:
+            assert td.is_ancestor(u, v)
+
+
+def test_depths_consistent_with_parents(small_random):
+    td = _decomposition(small_random)
+    for v in range(small_random.num_vertices):
+        parent = td.parent[v]
+        if parent != -1:
+            assert td.depth[v] == td.depth[parent] + 1
+
+
+def test_ancestors_path(small_random):
+    td = _decomposition(small_random)
+    for v in range(0, small_random.num_vertices, 5):
+        chain = td.ancestors(v)
+        assert chain[0] == td.root
+        assert chain[-1] == v
+        assert len(chain) == td.depth[v] + 1
+
+
+def test_subtree_contains_descendants_only(small_random):
+    td = _decomposition(small_random)
+    v = td.topdown_order[1] if small_random.num_vertices > 1 else td.root
+    subtree = td.subtree(v)
+    assert v in subtree
+    for u in subtree:
+        assert td.is_ancestor(v, u)
+
+
+def test_height_and_width_bounds(small_grid):
+    td = _decomposition(small_grid)
+    assert 1 <= td.height <= small_grid.num_vertices
+    assert 1 <= td.width <= small_grid.num_vertices

@@ -1,0 +1,86 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graph.generators import (
+    city_road_network,
+    grid_road_network,
+    paper_example_graph,
+    random_connected_graph,
+)
+from repro.graph.graph import Graph
+
+
+def nx_all_pairs(graph: Graph) -> dict[int, dict[int, float]]:
+    """All-pairs shortest-path distances via networkx (ground truth)."""
+    return dict(nx.all_pairs_dijkstra_path_length(graph.to_networkx()))
+
+
+def nx_distance(graph: Graph, s: int, t: int) -> float:
+    """Single-pair ground-truth distance (inf when disconnected)."""
+    nx_graph = graph.to_networkx()
+    try:
+        return nx.dijkstra_path_length(nx_graph, s, t)
+    except nx.NetworkXNoPath:
+        return math.inf
+
+
+def assert_distances_match(expected: float, actual: float, context: str = "") -> None:
+    """Assert two distances agree, treating inf exactly."""
+    if math.isinf(expected) or math.isinf(actual):
+        assert expected == actual, f"{context}: expected {expected}, got {actual}"
+    else:
+        assert abs(expected - actual) < 1e-9, f"{context}: expected {expected}, got {actual}"
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    """A 3-cycle with distinct weights."""
+    return Graph.from_edges(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)])
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """A 6-vertex path with unit weights."""
+    return Graph.from_edges(6, [(i, i + 1, 1.0) for i in range(5)])
+
+
+@pytest.fixture
+def small_grid() -> Graph:
+    """An 8x8 perturbed grid road network."""
+    return grid_road_network(8, 8, seed=7)
+
+
+@pytest.fixture
+def medium_grid() -> Graph:
+    """A 12x12 perturbed grid road network."""
+    return grid_road_network(12, 12, seed=11)
+
+
+@pytest.fixture
+def small_city() -> Graph:
+    """A small two-city road network with highways."""
+    return city_road_network(num_cities=2, city_rows=6, city_cols=6, seed=3)
+
+
+@pytest.fixture
+def small_random() -> Graph:
+    """A 40-vertex random connected graph with integer weights."""
+    return random_connected_graph(40, 0.08, seed=5)
+
+
+@pytest.fixture
+def paper_graph() -> Graph:
+    """The 16-vertex example network from Figure 2 of the paper."""
+    return paper_example_graph()
+
+
+@pytest.fixture(params=[0, 1, 2])
+def seeded_random_graph(request) -> Graph:
+    """Three random connected graphs with different seeds."""
+    return random_connected_graph(35, 0.1, seed=request.param)

@@ -1,0 +1,102 @@
+"""Unit tests for the directed-graph extension (Section 8)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.directed import DirectedGraph, DirectedSTL
+from repro.graph.generators import grid_road_network, random_connected_graph
+from repro.hierarchy.builder import HierarchyOptions
+
+
+def _truth(directed: DirectedGraph) -> dict[int, dict[int, float]]:
+    nx_graph = nx.DiGraph()
+    nx_graph.add_nodes_from(range(directed.num_vertices))
+    for u in range(directed.num_vertices):
+        for v, w in directed.out_neighbors(u):
+            if nx_graph.has_edge(u, v):
+                nx_graph[u][v]["weight"] = min(nx_graph[u][v]["weight"], w)
+            else:
+                nx_graph.add_edge(u, v, weight=w)
+    return dict(nx.all_pairs_dijkstra_path_length(nx_graph))
+
+
+def _asymmetric_directed(graph, seed=3):
+    import random
+
+    rng = random.Random(seed)
+    extra = []
+    for u, v, w in graph.edges():
+        if rng.random() < 0.3:
+            extra.append((u, v, w * 0.5))  # faster one-way direction
+    return DirectedGraph.from_undirected(graph, asymmetry=extra)
+
+
+class TestDirectedGraph:
+    def test_basic_construction(self):
+        directed = DirectedGraph(3)
+        directed.add_edge(0, 1, 2.0)
+        directed.add_edge(1, 2, 3.0)
+        assert directed.out_neighbors(0) == [(1, 2.0)]
+        assert directed.in_neighbors(2) == [(1, 3.0)]
+        assert directed.num_edges == 2
+
+    def test_from_undirected_symmetric(self, small_grid):
+        directed = DirectedGraph.from_undirected(small_grid)
+        assert directed.num_edges == 2 * small_grid.num_edges
+
+    def test_to_undirected_round_trip(self, small_grid):
+        directed = DirectedGraph.from_undirected(small_grid)
+        undirected = directed.to_undirected()
+        assert undirected.num_edges == small_grid.num_edges
+
+    def test_invalid_edges_rejected(self):
+        directed = DirectedGraph(2)
+        with pytest.raises(Exception):
+            directed.add_edge(0, 0, 1.0)
+        with pytest.raises(Exception):
+            directed.add_edge(0, 1, -1.0)
+
+
+class TestDirectedSTL:
+    def test_symmetric_graph_matches_undirected_truth(self, small_grid):
+        directed = DirectedGraph.from_undirected(small_grid)
+        index = DirectedSTL.build(directed, HierarchyOptions(leaf_size=8))
+        truth = _truth(directed)
+        for s in range(0, directed.num_vertices, 7):
+            for t in range(0, directed.num_vertices, 6):
+                expected = truth[s].get(t, math.inf)
+                assert index.query(s, t) == pytest.approx(expected)
+
+    def test_asymmetric_weights(self):
+        graph = grid_road_network(6, 6, seed=4)
+        directed = _asymmetric_directed(graph)
+        index = DirectedSTL.build(directed, HierarchyOptions(leaf_size=6))
+        truth = _truth(directed)
+        mismatches = 0
+        for s in range(directed.num_vertices):
+            for t in range(directed.num_vertices):
+                expected = truth[s].get(t, math.inf)
+                if abs(index.query(s, t) - expected) > 1e-9:
+                    mismatches += 1
+        assert mismatches == 0
+
+    def test_directed_distances_can_be_asymmetric(self):
+        graph = random_connected_graph(25, 0.1, seed=2)
+        directed = _asymmetric_directed(graph, seed=9)
+        index = DirectedSTL.build(directed, HierarchyOptions(leaf_size=5))
+        asymmetric_pairs = sum(
+            1
+            for s in range(directed.num_vertices)
+            for t in range(s + 1, directed.num_vertices)
+            if abs(index.query(s, t) - index.query(t, s)) > 1e-9
+        )
+        assert asymmetric_pairs > 0
+
+    def test_entry_count(self, small_grid):
+        directed = DirectedGraph.from_undirected(small_grid)
+        index = DirectedSTL.build(directed, HierarchyOptions(leaf_size=8))
+        assert index.num_label_entries() == 2 * sum(
+            index.hierarchy.tau[v] + 1 for v in range(directed.num_vertices)
+        )

@@ -1,0 +1,119 @@
+"""Unit tests for STL label construction (Definition 4.6, Lemma 4.7)."""
+
+import math
+
+import pytest
+
+from repro.algorithms.dijkstra import dijkstra_rank_restricted
+from repro.core.labelling import STLLabels, build_labels, verify_labels
+from repro.graph.graph import Graph
+from repro.hierarchy.builder import HierarchyOptions, build_hierarchy
+from repro.utils.errors import LabellingError
+
+
+@pytest.fixture
+def built(small_grid):
+    hierarchy = build_hierarchy(small_grid, HierarchyOptions(leaf_size=8))
+    labels = build_labels(small_grid, hierarchy)
+    return small_grid, hierarchy, labels
+
+
+class TestConstruction:
+    def test_label_lengths_match_tau(self, built):
+        graph, hierarchy, labels = built
+        for v in graph.vertices():
+            assert len(labels[v]) == hierarchy.tau[v] + 1
+
+    def test_self_entry_is_zero(self, built):
+        graph, hierarchy, labels = built
+        for v in graph.vertices():
+            assert labels[v][hierarchy.tau[v]] == 0.0
+
+    def test_entries_are_subgraph_distances(self, built):
+        graph, hierarchy, labels = built
+        for r in list(hierarchy.vertices_in_label_order())[:20]:
+            index = hierarchy.tau[r]
+            expected = dijkstra_rank_restricted(graph, r, hierarchy.tau)
+            for x in hierarchy.descendants(r):
+                want = expected.get(x, math.inf)
+                assert labels[x][index] == pytest.approx(want)
+
+    def test_entries_never_below_global_distance(self, built):
+        """Subgraph distances can only be >= distances in the whole graph."""
+        from tests.conftest import nx_all_pairs
+
+        graph, hierarchy, labels = built
+        truth = nx_all_pairs(graph)
+        for v in range(0, graph.num_vertices, 5):
+            chain = hierarchy.ancestors(v)
+            for index, r in enumerate(chain):
+                entry = labels[v][index]
+                if not math.isinf(entry):
+                    assert entry >= truth[v][r] - 1e-9
+
+    def test_verify_labels_passes(self, built):
+        graph, hierarchy, labels = built
+        assert verify_labels(graph, hierarchy, labels) == []
+
+    def test_verify_labels_detects_corruption(self, built):
+        graph, hierarchy, labels = built
+        corrupted = labels.copy()
+        corrupted[5][0] = 0.123
+        assert verify_labels(graph, hierarchy, corrupted) != []
+
+    def test_mismatched_hierarchy_rejected(self, small_grid):
+        hierarchy = build_hierarchy(small_grid)
+        other = Graph(3)
+        with pytest.raises(LabellingError):
+            build_labels(other, hierarchy)
+
+
+class TestSTLLabelsContainer:
+    def test_num_entries(self, built):
+        _, hierarchy, labels = built
+        assert labels.num_entries() == sum(hierarchy.tau[v] + 1 for v in range(len(labels)))
+
+    def test_entry_bounds_checked(self, built):
+        _, _, labels = built
+        with pytest.raises(LabellingError):
+            labels.entry(0, 999)
+
+    def test_copy_is_deep(self, built):
+        _, _, labels = built
+        clone = labels.copy()
+        clone[0][0] = -1.0
+        assert labels[0][0] != -1.0
+
+    def test_equals_and_differences(self, built):
+        _, _, labels = built
+        clone = labels.copy()
+        assert labels.equals(clone)
+        clone[3][0] = clone[3][0] + 1.0
+        assert not labels.equals(clone)
+        diffs = labels.differences(clone)
+        assert len(diffs) == 1
+        assert diffs[0][0] == 3
+
+    def test_iter_entries_count(self, built):
+        _, _, labels = built
+        assert sum(1 for _ in labels.iter_entries()) == labels.num_entries()
+
+    def test_memory_estimate(self, built):
+        _, _, labels = built
+        estimate = labels.memory_estimate()
+        assert estimate.distance_entries == labels.num_entries()
+        assert estimate.total_bytes == 4 * labels.num_entries()
+
+    def test_label_of_alias(self, built):
+        _, _, labels = built
+        assert labels.label_of(2) is labels[2]
+
+
+def test_labels_on_disconnected_graph_use_inf():
+    graph = Graph.from_edges(6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)])
+    hierarchy = build_hierarchy(graph, HierarchyOptions(leaf_size=2))
+    labels = build_labels(graph, hierarchy)
+    assert verify_labels(graph, hierarchy, labels) == []
+    has_inf = any(math.isinf(d) for label in labels.labels for d in label)
+    # Vertices in one component cannot reach ancestors placed in the other.
+    assert has_inf or hierarchy.height <= 2

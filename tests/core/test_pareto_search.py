@@ -1,0 +1,132 @@
+"""Unit tests for Pareto Search maintenance (Algorithms 3-5)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.label_search import LabelSearchDecrease, LabelSearchIncrease
+from repro.core.labelling import build_labels, verify_labels
+from repro.core.pareto_search import ParetoSearchDecrease, ParetoSearchIncrease
+from repro.core.query import query_distance
+from repro.graph.updates import EdgeUpdate
+from repro.hierarchy.builder import HierarchyOptions, build_hierarchy
+from repro.utils.errors import UpdateError
+from tests.conftest import nx_all_pairs
+
+
+def _build(graph, leaf_size=8):
+    hierarchy = build_hierarchy(graph, HierarchyOptions(leaf_size=leaf_size))
+    labels = build_labels(graph, hierarchy)
+    return hierarchy, labels
+
+
+def _assert_labels_exact(graph, hierarchy, labels):
+    problems = verify_labels(graph, hierarchy, labels)
+    assert problems == [], problems[:5]
+
+
+class TestParetoDecrease:
+    def test_single_decrease_matches_rebuild(self, small_grid):
+        hierarchy, labels = _build(small_grid)
+        u, v, w = max(small_grid.edges(), key=lambda e: e[2])
+        ParetoSearchDecrease(small_grid, hierarchy, labels).apply(EdgeUpdate(u, v, w, 1.0))
+        _assert_labels_exact(small_grid, hierarchy, labels)
+
+    def test_matches_label_search_result(self, small_grid):
+        hierarchy_a, labels_a = _build(small_grid)
+        graph_b = small_grid.copy()
+        hierarchy_b, labels_b = hierarchy_a, labels_a.copy()
+        u, v, w = list(small_grid.edges())[3]
+        update = EdgeUpdate(u, v, w, max(1.0, w / 2))
+        ParetoSearchDecrease(small_grid, hierarchy_a, labels_a).apply(update)
+        LabelSearchDecrease(graph_b, hierarchy_b, labels_b).apply(update)
+        assert labels_a.equals(labels_b), labels_a.differences(labels_b)[:5]
+
+    def test_rejects_increase(self, small_grid):
+        hierarchy, labels = _build(small_grid)
+        u, v, w = next(iter(small_grid.edges()))
+        with pytest.raises(UpdateError):
+            ParetoSearchDecrease(small_grid, hierarchy, labels).apply(EdgeUpdate(u, v, w, w * 2))
+
+    def test_sequence_of_decreases(self, small_grid):
+        hierarchy, labels = _build(small_grid)
+        maintainer = ParetoSearchDecrease(small_grid, hierarchy, labels)
+        for u, v, w in list(small_grid.edges())[:8]:
+            maintainer.apply(EdgeUpdate(u, v, w, max(1.0, w // 2)))
+        _assert_labels_exact(small_grid, hierarchy, labels)
+
+
+class TestParetoIncrease:
+    def test_single_increase_matches_rebuild(self, small_grid):
+        hierarchy, labels = _build(small_grid)
+        u, v, w = min(small_grid.edges(), key=lambda e: e[2])
+        ParetoSearchIncrease(small_grid, hierarchy, labels).apply(EdgeUpdate(u, v, w, w * 4))
+        _assert_labels_exact(small_grid, hierarchy, labels)
+
+    def test_matches_label_search_result(self, small_grid):
+        hierarchy_a, labels_a = _build(small_grid)
+        graph_b = small_grid.copy()
+        labels_b = labels_a.copy()
+        u, v, w = list(small_grid.edges())[5]
+        update = EdgeUpdate(u, v, w, w * 3)
+        ParetoSearchIncrease(small_grid, hierarchy_a, labels_a).apply(update)
+        LabelSearchIncrease(graph_b, hierarchy_a, labels_b).apply(update)
+        assert labels_a.equals(labels_b), labels_a.differences(labels_b)[:5]
+
+    def test_increase_to_infinity(self, small_grid):
+        hierarchy, labels = _build(small_grid)
+        u, v, w = next(iter(small_grid.edges()))
+        ParetoSearchIncrease(small_grid, hierarchy, labels).apply(EdgeUpdate(u, v, w, math.inf))
+        _assert_labels_exact(small_grid, hierarchy, labels)
+
+    def test_rejects_decrease(self, small_grid):
+        hierarchy, labels = _build(small_grid)
+        u, v, w = next(iter(small_grid.edges()))
+        with pytest.raises(UpdateError):
+            ParetoSearchIncrease(small_grid, hierarchy, labels).apply(EdgeUpdate(u, v, w, w / 2))
+
+    def test_queries_match_truth_after_increase(self, small_grid):
+        hierarchy, labels = _build(small_grid)
+        u, v, w = min(small_grid.edges(), key=lambda e: e[2])
+        ParetoSearchIncrease(small_grid, hierarchy, labels).apply(EdgeUpdate(u, v, w, w * 8))
+        truth = nx_all_pairs(small_grid)
+        for s in range(0, small_grid.num_vertices, 7):
+            for t in range(0, small_grid.num_vertices, 6):
+                assert query_distance(hierarchy, labels, s, t) == pytest.approx(
+                    truth[s].get(t, math.inf)
+                )
+
+
+class TestRandomisedSequences:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_long_mixed_sequence_stays_exact(self, small_city, seed):
+        graph = small_city.copy()
+        hierarchy, labels = _build(graph, leaf_size=6)
+        decrease = ParetoSearchDecrease(graph, hierarchy, labels)
+        increase = ParetoSearchIncrease(graph, hierarchy, labels)
+        rng = random.Random(seed)
+        edges = list(graph.edges())
+        for step in range(24):
+            u, v, _ = edges[rng.randrange(len(edges))]
+            w = graph.weight(u, v)
+            if rng.random() < 0.5:
+                increase.apply(EdgeUpdate(u, v, w, w * rng.choice([2.0, 3.0, 5.0])))
+            else:
+                decrease.apply(EdgeUpdate(u, v, w, max(1.0, w // 2)))
+            if step % 6 == 5:
+                _assert_labels_exact(graph, hierarchy, labels)
+        _assert_labels_exact(graph, hierarchy, labels)
+
+    def test_restore_cycle_returns_to_original_labels(self, small_grid):
+        """Doubling then restoring every edge weight must restore the labels."""
+        hierarchy, labels = _build(small_grid)
+        original = labels.copy()
+        increase = ParetoSearchIncrease(small_grid, hierarchy, labels)
+        decrease = ParetoSearchDecrease(small_grid, hierarchy, labels)
+        edges = list(small_grid.edges())[:10]
+        for u, v, w in edges:
+            increase.apply(EdgeUpdate(u, v, w, w * 2))
+        for u, v, w in edges:
+            decrease.apply(EdgeUpdate(u, v, w * 2, w))
+        assert labels.equals(original), labels.differences(original)[:5]

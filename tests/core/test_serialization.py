@@ -1,0 +1,79 @@
+"""Unit tests for index serialization."""
+
+import io
+
+import pytest
+
+from repro.core.serialization import (
+    deserialize_labelling,
+    load_labelling,
+    save_labelling,
+    serialize_labelling,
+)
+from repro.core.stl import StableTreeLabelling
+from repro.graph.graph import Graph
+from repro.hierarchy.builder import HierarchyOptions
+from repro.utils.errors import SerializationError
+from tests.conftest import nx_all_pairs
+
+
+@pytest.fixture
+def stl(small_grid):
+    return StableTreeLabelling.build(small_grid, HierarchyOptions(leaf_size=8))
+
+
+def test_round_trip_preserves_queries(stl, tmp_path):
+    path = tmp_path / "index.json"
+    save_labelling(stl, str(path))
+    loaded = load_labelling(str(path), stl.graph)
+    truth = nx_all_pairs(stl.graph)
+    for s in range(0, stl.graph.num_vertices, 9):
+        for t in range(0, stl.graph.num_vertices, 8):
+            assert loaded.query(s, t) == pytest.approx(truth[s][t])
+
+
+def test_round_trip_through_handle(stl):
+    buffer = io.StringIO()
+    save_labelling(stl, buffer)
+    buffer.seek(0)
+    loaded = load_labelling(buffer, stl.graph)
+    assert loaded.labels.equals(stl.labels)
+    assert loaded.hierarchy.tau == stl.hierarchy.tau
+
+
+def test_round_trip_preserves_maintenance_mode(stl):
+    stl.set_maintenance("label_search")
+    payload = serialize_labelling(stl)
+    loaded = deserialize_labelling(payload, stl.graph)
+    assert loaded.maintenance_mode == "label_search"
+
+
+def test_loaded_index_is_maintainable(stl):
+    payload = serialize_labelling(stl)
+    loaded = deserialize_labelling(payload, stl.graph)
+    u, v, w = next(iter(loaded.graph.edges()))
+    loaded.increase_edge(u, v, w * 2)
+    from repro.core.labelling import verify_labels
+
+    assert verify_labels(loaded.graph, loaded.hierarchy, loaded.labels) == []
+
+
+def test_wrong_graph_rejected(stl):
+    payload = serialize_labelling(stl)
+    with pytest.raises(SerializationError):
+        deserialize_labelling(payload, Graph(3))
+
+
+def test_wrong_version_rejected(stl):
+    payload = serialize_labelling(stl)
+    payload["format_version"] = 99
+    with pytest.raises(SerializationError):
+        deserialize_labelling(payload, stl.graph)
+
+
+def test_infinite_entries_survive_round_trip():
+    graph = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    stl = StableTreeLabelling.build(graph, HierarchyOptions(leaf_size=2))
+    payload = serialize_labelling(stl)
+    loaded = deserialize_labelling(payload, graph)
+    assert loaded.labels.equals(stl.labels)

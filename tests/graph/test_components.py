@@ -1,0 +1,50 @@
+"""Unit tests for connected-component utilities."""
+
+import math
+
+from repro.graph.components import connected_components, is_connected, largest_component
+from repro.graph.graph import Graph
+
+
+def test_single_component():
+    graph = Graph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    assert is_connected(graph)
+    assert connected_components(graph) == [[0, 1, 2, 3]]
+
+
+def test_two_components_sorted_by_size():
+    graph = Graph.from_edges(5, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)])
+    components = connected_components(graph)
+    assert components == [[0, 1, 2], [3, 4]]
+    assert not is_connected(graph)
+
+
+def test_isolated_vertices_are_components():
+    graph = Graph(3)
+    components = connected_components(graph)
+    assert sorted(map(tuple, components)) == [(0,), (1,), (2,)]
+
+
+def test_infinite_edges_are_ignored():
+    graph = Graph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    graph.set_weight(1, 2, math.inf)
+    components = connected_components(graph)
+    assert components == [[0, 1], [2, 3]]
+
+
+def test_restricted_components():
+    graph = Graph.from_edges(5, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+    components = connected_components(graph, vertices=[0, 1, 3, 4])
+    assert components == [[0, 1], [3, 4]]
+
+
+def test_largest_component_returns_mapping():
+    graph = Graph.from_edges(5, [(0, 1, 2.0), (1, 2, 3.0), (3, 4, 1.0)])
+    sub, mapping = largest_component(graph)
+    assert sub.num_vertices == 3
+    assert set(mapping) == {0, 1, 2}
+    assert sub.weight(mapping[0], mapping[1]) == 2.0
+
+
+def test_empty_graph_is_connected():
+    assert is_connected(Graph(0))

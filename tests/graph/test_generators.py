@@ -1,0 +1,92 @@
+"""Unit tests for the synthetic road-network generators."""
+
+import pytest
+
+from repro.graph.components import is_connected
+from repro.graph.generators import (
+    city_road_network,
+    delaunay_road_network,
+    grid_road_network,
+    paper_example_graph,
+    random_connected_graph,
+)
+
+
+class TestGridRoadNetwork:
+    def test_is_connected_and_sized(self):
+        graph = grid_road_network(10, 12, seed=1)
+        assert is_connected(graph)
+        assert 0 < graph.num_vertices <= 120
+        assert graph.coordinates is not None
+        assert len(graph.coordinates) == graph.num_vertices
+
+    def test_deterministic_for_seed(self):
+        a = grid_road_network(8, 8, seed=42)
+        b = grid_road_network(8, 8, seed=42)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = grid_road_network(8, 8, seed=1)
+        b = grid_road_network(8, 8, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_weights_are_positive_integers(self):
+        graph = grid_road_network(6, 6, seed=3)
+        for _, _, w in graph.edges():
+            assert w >= 1
+            assert float(w).is_integer()
+
+    def test_no_drop_gives_full_grid(self):
+        graph = grid_road_network(5, 5, seed=0, drop_probability=0.0, diagonal_probability=0.0)
+        assert graph.num_vertices == 25
+        assert graph.num_edges == 2 * 5 * 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            grid_road_network(0, 5)
+        with pytest.raises(ValueError):
+            grid_road_network(5, 5, drop_probability=1.5)
+
+
+class TestCityRoadNetwork:
+    def test_connected_with_highways(self):
+        graph = city_road_network(num_cities=3, city_rows=5, city_cols=5, seed=0)
+        assert is_connected(graph)
+        assert graph.num_vertices > 50
+        assert graph.coordinates is not None
+
+    def test_average_degree_is_road_like(self):
+        graph = city_road_network(num_cities=3, city_rows=8, city_cols=8, seed=1)
+        average_degree = 2 * graph.num_edges / graph.num_vertices
+        assert 1.5 < average_degree < 4.5
+
+
+class TestDelaunayRoadNetwork:
+    def test_connected_and_planarish(self):
+        graph = delaunay_road_network(150, seed=0)
+        assert is_connected(graph)
+        assert graph.num_vertices > 100
+        # Planar graphs have at most 3n - 6 edges.
+        assert graph.num_edges <= 3 * graph.num_vertices
+
+
+class TestRandomConnectedGraph:
+    def test_connected(self):
+        graph = random_connected_graph(30, 0.1, seed=0)
+        assert is_connected(graph)
+        assert graph.num_vertices == 30
+
+    def test_integer_weights_by_default(self):
+        graph = random_connected_graph(20, 0.1, seed=1)
+        assert all(float(w).is_integer() for _, _, w in graph.edges())
+
+    def test_fractional_weights_option(self):
+        graph = random_connected_graph(20, 0.1, seed=1, integer_weights=False)
+        assert any(not float(w).is_integer() for _, _, w in graph.edges())
+
+
+def test_paper_example_graph_shape():
+    graph = paper_example_graph()
+    assert graph.num_vertices == 16
+    assert graph.num_edges == 26
+    assert is_connected(graph)

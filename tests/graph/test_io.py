@@ -1,0 +1,82 @@
+"""Unit tests for DIMACS and edge-list I/O."""
+
+import io
+
+import pytest
+
+from repro.graph.generators import grid_road_network
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    read_dimacs,
+    read_edge_list,
+    write_dimacs,
+    write_dimacs_coordinates,
+    write_edge_list,
+)
+from repro.utils.errors import GraphError
+
+
+def test_dimacs_round_trip(tmp_path):
+    graph = grid_road_network(5, 5, seed=1)
+    gr_path = tmp_path / "graph.gr"
+    co_path = tmp_path / "graph.co"
+    write_dimacs(graph, str(gr_path))
+    write_dimacs_coordinates(graph, str(co_path))
+
+    loaded = read_dimacs(str(gr_path), str(co_path))
+    assert loaded.num_vertices == graph.num_vertices
+    assert loaded.num_edges == graph.num_edges
+    for u, v, w in graph.edges():
+        assert loaded.weight(u, v) == pytest.approx(w)
+    assert loaded.coordinates is not None
+    for (ax, ay), (bx, by) in zip(graph.coordinates, loaded.coordinates):
+        assert ax == pytest.approx(bx, abs=1e-5)
+        assert ay == pytest.approx(by, abs=1e-5)
+
+
+def test_dimacs_reader_parses_hand_written_file(tmp_path):
+    path = tmp_path / "tiny.gr"
+    path.write_text(
+        "c tiny example\n"
+        "p sp 3 4\n"
+        "a 1 2 5\n"
+        "a 2 1 5\n"
+        "a 2 3 7\n"
+        "a 3 2 7\n"
+    )
+    graph = read_dimacs(str(path))
+    assert graph.num_vertices == 3
+    assert graph.num_edges == 2
+    assert graph.weight(0, 1) == 5.0
+    assert graph.weight(1, 2) == 7.0
+
+
+def test_dimacs_reader_rejects_malformed(tmp_path):
+    path = tmp_path / "bad.gr"
+    path.write_text("p tsp 3 1\na 1 2 5\n")
+    with pytest.raises(GraphError):
+        read_dimacs(str(path))
+
+
+def test_dimacs_coordinates_require_coordinates():
+    graph = Graph.from_edges(2, [(0, 1, 1.0)])
+    with pytest.raises(GraphError):
+        write_dimacs_coordinates(graph, "/tmp/never-written.co")
+
+
+def test_edge_list_round_trip_file(tmp_path):
+    graph = Graph.from_edges(4, [(0, 1, 1.5), (1, 2, 2.5), (2, 3, 3.0)])
+    path = tmp_path / "edges.txt"
+    write_edge_list(graph, str(path))
+    loaded = read_edge_list(str(path))
+    assert sorted(loaded.edges()) == sorted(graph.edges())
+
+
+def test_edge_list_round_trip_handle():
+    graph = Graph.from_edges(3, [(0, 2, 4.0)])
+    buffer = io.StringIO()
+    write_edge_list(graph, buffer)
+    buffer.seek(0)
+    loaded = read_edge_list(buffer)
+    assert loaded.num_vertices == 3
+    assert loaded.weight(0, 2) == 4.0

@@ -1,0 +1,83 @@
+"""Unit tests for the edge-update model."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.updates import EdgeUpdate, UpdateBatch, UpdateKind
+from repro.utils.errors import UpdateError
+
+
+@pytest.fixture
+def graph() -> Graph:
+    return Graph.from_edges(4, [(0, 1, 2.0), (1, 2, 4.0), (2, 3, 6.0)])
+
+
+class TestEdgeUpdate:
+    def test_kind_classification(self):
+        assert EdgeUpdate(0, 1, 2.0, 5.0).kind is UpdateKind.INCREASE
+        assert EdgeUpdate(0, 1, 5.0, 2.0).kind is UpdateKind.DECREASE
+        assert EdgeUpdate(0, 1, 2.0, 2.0).kind is UpdateKind.NEUTRAL
+
+    def test_delta(self):
+        assert EdgeUpdate(0, 1, 2.0, 5.0).delta == 3.0
+        assert EdgeUpdate(0, 1, 5.0, 2.0).delta == -3.0
+
+    def test_reversed(self):
+        update = EdgeUpdate(0, 1, 2.0, 5.0)
+        assert update.reversed() == EdgeUpdate(0, 1, 5.0, 2.0)
+
+    def test_apply(self, graph):
+        EdgeUpdate(0, 1, 2.0, 5.0).apply(graph)
+        assert graph.weight(0, 1) == 5.0
+
+    def test_apply_validates_old_weight(self, graph):
+        with pytest.raises(UpdateError):
+            EdgeUpdate(0, 1, 3.0, 5.0).apply(graph)
+
+    def test_scaling_factory(self, graph):
+        update = EdgeUpdate.scaling(graph, 1, 2, 2.0)
+        assert update.old_weight == 4.0
+        assert update.new_weight == 8.0
+
+    def test_setting_factory(self, graph):
+        update = EdgeUpdate.setting(graph, 2, 3, 1.0)
+        assert update.old_weight == 6.0
+        assert update.new_weight == 1.0
+
+
+class TestUpdateBatch:
+    def test_filtering_by_kind(self):
+        batch = UpdateBatch(
+            [EdgeUpdate(0, 1, 2.0, 5.0), EdgeUpdate(1, 2, 4.0, 1.0), EdgeUpdate(2, 3, 6.0, 6.0)]
+        )
+        assert len(batch.increases()) == 1
+        assert len(batch.decreases()) == 1
+        assert len(batch) == 3
+
+    def test_apply_and_rollback(self, graph):
+        batch = UpdateBatch([EdgeUpdate(0, 1, 2.0, 5.0), EdgeUpdate(1, 2, 4.0, 1.0)])
+        batch.apply(graph)
+        assert graph.weight(0, 1) == 5.0
+        assert graph.weight(1, 2) == 1.0
+        batch.rollback(graph)
+        assert graph.weight(0, 1) == 2.0
+        assert graph.weight(1, 2) == 4.0
+
+    def test_reversed_batch_is_reverse_order(self):
+        batch = UpdateBatch([EdgeUpdate(0, 1, 2.0, 5.0), EdgeUpdate(1, 2, 4.0, 1.0)])
+        reversed_updates = list(batch.reversed())
+        assert reversed_updates[0].u == 1
+        assert reversed_updates[0].old_weight == 1.0
+
+    def test_edges_deduplicates(self):
+        batch = UpdateBatch(
+            [EdgeUpdate(1, 0, 2.0, 5.0), EdgeUpdate(0, 1, 5.0, 2.0), EdgeUpdate(1, 2, 4.0, 8.0)]
+        )
+        assert batch.edges() == [(0, 1), (1, 2)]
+
+    def test_indexing_and_append(self):
+        batch = UpdateBatch()
+        update = EdgeUpdate(0, 1, 2.0, 5.0)
+        batch.append(update)
+        assert batch[0] == update
+        assert batch.updates == (update,)

@@ -1,0 +1,97 @@
+"""Unit tests for stable tree hierarchy construction."""
+
+import pytest
+
+from repro.graph.generators import grid_road_network, random_connected_graph
+from repro.graph.graph import Graph
+from repro.hierarchy.builder import (
+    BuildReport,
+    HierarchyOptions,
+    build_hierarchy,
+    build_hierarchy_with_report,
+)
+from repro.partition.bisection import BFSBisector
+
+
+class TestOptions:
+    def test_defaults_match_paper(self):
+        options = HierarchyOptions()
+        assert options.beta == 0.2
+        assert options.leaf_size == 16
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            HierarchyOptions(beta=0.0)
+        with pytest.raises(ValueError):
+            HierarchyOptions(beta=0.7)
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(ValueError):
+            HierarchyOptions(leaf_size=0)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            HierarchyOptions(order_within_node="random")
+
+
+class TestBuild:
+    def test_empty_graph(self):
+        hierarchy = build_hierarchy(Graph(0))
+        assert hierarchy.num_nodes == 0
+        assert hierarchy.num_vertices == 0
+
+    def test_single_vertex(self):
+        hierarchy = build_hierarchy(Graph(1))
+        assert hierarchy.tau == [0]
+        assert hierarchy.num_nodes == 1
+
+    def test_small_graph_single_leaf(self):
+        graph = Graph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        hierarchy = build_hierarchy(graph, HierarchyOptions(leaf_size=8))
+        assert hierarchy.num_nodes == 1
+        assert sorted(hierarchy.tau) == [0, 1, 2, 3]
+
+    def test_grid_hierarchy_is_shallow_and_balanced(self, medium_grid):
+        hierarchy, report = build_hierarchy_with_report(
+            medium_grid, HierarchyOptions(leaf_size=8)
+        )
+        assert hierarchy.height < medium_grid.num_vertices / 2
+        assert report.balance_violations <= report.num_nodes // 10
+        assert report.max_separator < medium_grid.num_vertices // 3
+
+    def test_height_grows_sublinearly(self):
+        small = grid_road_network(8, 8, seed=1, drop_probability=0.0)
+        large = grid_road_network(16, 16, seed=1, drop_probability=0.0)
+        h_small = build_hierarchy(small, HierarchyOptions(leaf_size=8)).height
+        h_large = build_hierarchy(large, HierarchyOptions(leaf_size=8)).height
+        # 4x the vertices should give far less than 4x the height (~2x for sqrt cuts).
+        assert h_large < 3 * h_small
+
+    def test_bfs_bisector_handles_coordinate_free_graphs(self, small_random):
+        options = HierarchyOptions(leaf_size=4, bisector=BFSBisector())
+        hierarchy = build_hierarchy(small_random, options)
+        assert hierarchy.num_vertices == small_random.num_vertices
+        for u, v, _ in small_random.edges():
+            assert hierarchy.precedes(u, v) or hierarchy.precedes(v, u)
+
+    def test_order_within_node_id(self, small_grid):
+        hierarchy = build_hierarchy(small_grid, HierarchyOptions(order_within_node="id"))
+        for node in hierarchy.nodes:
+            assert node.vertices == sorted(node.vertices)
+
+    def test_disconnected_graph_covered(self):
+        graph = Graph.from_edges(8, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (5, 6, 1.0), (6, 7, 1.0)])
+        hierarchy = build_hierarchy(graph, HierarchyOptions(leaf_size=2))
+        assert all(hierarchy.node_of[v] != -1 for v in range(8))
+
+    def test_report_counts(self, small_grid):
+        _, report = build_hierarchy_with_report(small_grid, HierarchyOptions(leaf_size=8))
+        assert isinstance(report, BuildReport)
+        assert report.num_nodes >= report.num_leaves > 0
+
+    def test_random_graphs_build(self):
+        for seed in range(3):
+            graph = random_connected_graph(50, 0.08, seed=seed)
+            hierarchy = build_hierarchy(graph, HierarchyOptions(leaf_size=4))
+            for u, v, _ in graph.edges():
+                assert hierarchy.precedes(u, v) or hierarchy.precedes(v, u)

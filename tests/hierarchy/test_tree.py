@@ -1,0 +1,158 @@
+"""Unit tests for the stable tree hierarchy data structure and its invariants."""
+
+import pytest
+
+from repro.hierarchy.builder import HierarchyOptions, build_hierarchy
+from repro.hierarchy.tree import StableTreeHierarchy
+from repro.utils.errors import HierarchyError
+
+
+def _manual_hierarchy() -> StableTreeHierarchy:
+    """Tiny hand-built hierarchy: root {0,1}, left {2}, right {3,4}."""
+    hierarchy = StableTreeHierarchy(5)
+    root = hierarchy.add_node(-1, False)
+    hierarchy.assign_vertices(root, [0, 1])
+    left = hierarchy.add_node(root.index, False)
+    hierarchy.assign_vertices(left, [2])
+    right = hierarchy.add_node(root.index, True)
+    hierarchy.assign_vertices(right, [3, 4])
+    hierarchy.finalize()
+    return hierarchy
+
+
+class TestManualHierarchy:
+    def test_tau_assignment(self):
+        h = _manual_hierarchy()
+        assert h.tau == [0, 1, 2, 2, 3]
+
+    def test_label_lengths(self):
+        h = _manual_hierarchy()
+        assert [h.label_length(v) for v in range(5)] == [1, 2, 3, 3, 4]
+
+    def test_ancestor_chains(self):
+        h = _manual_hierarchy()
+        assert h.ancestors(2) == [0, 1, 2]
+        assert h.ancestors(4) == [0, 1, 3, 4]
+        assert h.ancestors(0) == [0]
+
+    def test_ancestor_at(self):
+        h = _manual_hierarchy()
+        assert h.ancestor_at(4, 0) == 0
+        assert h.ancestor_at(4, 2) == 3
+        assert h.ancestor_at(4, 3) == 4
+        with pytest.raises(HierarchyError):
+            h.ancestor_at(2, 3)
+
+    def test_precedes(self):
+        h = _manual_hierarchy()
+        assert h.precedes(0, 4)
+        assert h.precedes(0, 0)
+        assert h.precedes(3, 4)
+        assert not h.precedes(2, 4)
+        assert not h.precedes(4, 3)
+
+    def test_descendants(self):
+        h = _manual_hierarchy()
+        assert h.descendants(0) == [0, 1, 2, 3, 4]
+        assert h.descendants(3) == [3, 4]
+        assert h.descendants(2) == [2]
+
+    def test_lca_and_common_ancestors(self):
+        h = _manual_hierarchy()
+        assert h.lca_node_depth(2, 4) == 0
+        assert h.num_common_ancestors(2, 4) == 2
+        assert h.common_ancestors(2, 4) == [0, 1]
+        assert h.num_common_ancestors(3, 4) == 3
+        assert h.num_common_ancestors(0, 4) == 1
+
+    def test_height_and_depth(self):
+        h = _manual_hierarchy()
+        assert h.height == 4
+        assert h.node_depth == 2
+
+    def test_double_assignment_rejected(self):
+        hierarchy = StableTreeHierarchy(2)
+        root = hierarchy.add_node(-1, False)
+        hierarchy.assign_vertices(root, [0])
+        child = hierarchy.add_node(root.index, False)
+        with pytest.raises(HierarchyError):
+            hierarchy.assign_vertices(child, [0])
+
+    def test_missing_assignment_detected(self):
+        hierarchy = StableTreeHierarchy(2)
+        root = hierarchy.add_node(-1, False)
+        hierarchy.assign_vertices(root, [0])
+        with pytest.raises(HierarchyError):
+            hierarchy.finalize()
+
+    def test_two_children_per_side_rejected(self):
+        hierarchy = StableTreeHierarchy(1)
+        root = hierarchy.add_node(-1, False)
+        hierarchy.add_node(root.index, False)
+        with pytest.raises(HierarchyError):
+            hierarchy.add_node(root.index, False)
+
+
+class TestBuiltHierarchyInvariants:
+    @pytest.fixture
+    def built(self, medium_grid):
+        return medium_grid, build_hierarchy(medium_grid, HierarchyOptions(leaf_size=8))
+
+    def test_every_vertex_assigned_once(self, built):
+        graph, hierarchy = built
+        assert sorted(hierarchy.tau) == sorted(hierarchy.tau)
+        assert all(hierarchy.node_of[v] >= 0 for v in graph.vertices())
+
+    def test_tau_matches_ancestor_chain_position(self, built):
+        graph, hierarchy = built
+        for v in range(0, graph.num_vertices, 7):
+            chain = hierarchy.ancestors(v)
+            assert len(chain) == hierarchy.tau[v] + 1
+            assert chain[-1] == v
+            for index, ancestor in enumerate(chain):
+                assert hierarchy.tau[ancestor] == index
+                assert hierarchy.precedes(ancestor, v)
+
+    def test_adjacent_vertices_are_comparable(self, built):
+        """Lemma 5.3: every edge joins comparable vertices."""
+        graph, hierarchy = built
+        for u, v, _ in graph.edges():
+            assert hierarchy.precedes(u, v) or hierarchy.precedes(v, u)
+
+    def test_common_ancestors_are_prefix_of_both_chains(self, built):
+        graph, hierarchy = built
+        import random
+
+        rng = random.Random(3)
+        for _ in range(50):
+            s = rng.randrange(graph.num_vertices)
+            t = rng.randrange(graph.num_vertices)
+            k = hierarchy.num_common_ancestors(s, t)
+            chain_s = hierarchy.ancestors(s)
+            chain_t = hierarchy.ancestors(t)
+            assert chain_s[:k] == chain_t[:k]
+            if k < len(chain_s) and k < len(chain_t):
+                assert chain_s[k] != chain_t[k]
+
+    def test_separator_property(self, built):
+        """Definition 4.1 (2): removing the common ancestors disconnects s and t."""
+        graph, hierarchy = built
+        import random
+
+        from repro.algorithms.dijkstra import dijkstra_subset
+
+        rng = random.Random(9)
+        checked = 0
+        while checked < 20:
+            s = rng.randrange(graph.num_vertices)
+            t = rng.randrange(graph.num_vertices)
+            if s == t:
+                continue
+            common = set(hierarchy.common_ancestors(s, t))
+            if s in common or t in common:
+                # One endpoint is an ancestor of the other; the property is trivial.
+                checked += 1
+                continue
+            reachable = dijkstra_subset(graph, s, lambda v: v not in common)
+            assert t not in reachable
+            checked += 1

@@ -1,0 +1,108 @@
+"""Integration tests: the full pipeline on realistic scenarios."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.dijkstra_oracle import DijkstraOracle
+from repro.baselines.dtdhl import DTDHL
+from repro.baselines.hc2l import HC2L
+from repro.baselines.inch2h import IncH2H
+from repro.core.stl import StableTreeLabelling
+from repro.graph.updates import EdgeUpdate
+from repro.hierarchy.builder import HierarchyOptions
+from repro.workloads.datasets import build_dataset
+from repro.workloads.queries import random_query_pairs
+from repro.workloads.updates import mixed_update_stream, random_update_batch
+
+
+def test_all_methods_agree_on_a_dataset():
+    """STL, HC2L, IncH2H, DTDHL and plain Dijkstra must return identical distances."""
+    graph = build_dataset("NY", scale=0.25, seed=7)
+    pairs = random_query_pairs(graph, 60, seed=7)
+    oracle = DijkstraOracle.build(graph.copy())
+    indexes = {
+        "STL": StableTreeLabelling.build(graph.copy(), HierarchyOptions(leaf_size=8)),
+        "HC2L": HC2L.build(graph.copy(), leaf_size=8),
+        "IncH2H": IncH2H.build(graph.copy()),
+        "DTDHL": DTDHL.build(graph.copy()),
+    }
+    for s, t in pairs:
+        expected = oracle.query(s, t)
+        for name, index in indexes.items():
+            assert index.query(s, t) == pytest.approx(expected), name
+
+
+def test_dynamic_methods_agree_through_a_traffic_day():
+    """Replay a stream of rush-hour weight changes; all dynamic methods stay exact."""
+    graph = build_dataset("NY", scale=0.2, seed=11)
+    stl_p = StableTreeLabelling.build(graph.copy(), HierarchyOptions(leaf_size=8))
+    stl_l = StableTreeLabelling.build(graph.copy(), HierarchyOptions(leaf_size=8), maintenance="label_search")
+    inch2h = IncH2H.build(graph.copy())
+    oracle_graph = graph.copy()
+    oracle = DijkstraOracle.build(oracle_graph)
+
+    rng = random.Random(5)
+    edges = list(graph.edges())
+    checkpoints = 0
+    for step in range(25):
+        u, v, _ = edges[rng.randrange(len(edges))]
+        w = oracle_graph.weight(u, v)
+        if rng.random() < 0.5:
+            new_w = w * rng.choice([2.0, 4.0])
+        else:
+            new_w = max(1.0, w // 2)
+        if new_w == w:
+            continue
+        update = EdgeUpdate(u, v, w, float(new_w))
+        for index in (stl_p, stl_l, inch2h, oracle):
+            index.apply_update(
+                EdgeUpdate(update.u, update.v, update.old_weight, update.new_weight)
+            )
+        if step % 8 == 7:
+            checkpoints += 1
+            for s, t in random_query_pairs(graph, 15, seed=step):
+                expected = oracle.query(s, t)
+                assert stl_p.query(s, t) == pytest.approx(expected)
+                assert stl_l.query(s, t) == pytest.approx(expected)
+                assert inch2h.query(s, t) == pytest.approx(expected)
+    assert checkpoints >= 2
+
+
+def test_batch_workflow_matches_table3_protocol():
+    """Increase a batch, restore it, and verify the index returns to its base state."""
+    graph = build_dataset("BAY", scale=0.2, seed=3)
+    stl = StableTreeLabelling.build(graph.copy(), HierarchyOptions(leaf_size=8))
+    baseline = stl.labels.copy()
+    increases, decreases = random_update_batch(stl.graph, 12, factor=2.0, seed=3)
+    for update in increases:
+        stl.apply_update(update)
+    for update in decreases:
+        stl.apply_update(update)
+    assert stl.labels.equals(baseline)
+
+
+def test_figure10_style_stream_stays_cheaper_than_rebuild_per_query_accuracy():
+    graph = build_dataset("NY", scale=0.2, seed=9)
+    stl = StableTreeLabelling.build(graph.copy(), HierarchyOptions(leaf_size=8))
+    stream = mixed_update_stream(stl.graph, 10, seed=2)
+    for update in stream:
+        stl.apply_update(update)
+    oracle = DijkstraOracle.build(stl.graph)
+    for s, t in random_query_pairs(stl.graph, 40, seed=4):
+        assert stl.query(s, t) == pytest.approx(oracle.query(s, t))
+
+
+def test_deleted_edge_reflected_in_all_dynamic_methods():
+    graph = build_dataset("NY", scale=0.2, seed=13)
+    stl = StableTreeLabelling.build(graph.copy(), HierarchyOptions(leaf_size=8))
+    inch2h = IncH2H.build(graph.copy())
+    u, v, w = next(iter(graph.edges()))
+    stl.remove_edge(u, v)
+    inch2h.apply_update(EdgeUpdate(u, v, w, math.inf))
+    oracle = DijkstraOracle.build(stl.graph)
+    for s, t in random_query_pairs(graph, 25, seed=6):
+        expected = oracle.query(s, t)
+        assert stl.query(s, t) == pytest.approx(expected)
+        assert inch2h.query(s, t) == pytest.approx(expected)

@@ -1,0 +1,96 @@
+"""Unit tests for the balanced bisectors."""
+
+import pytest
+
+from repro.graph.generators import grid_road_network, random_connected_graph
+from repro.graph.graph import Graph
+from repro.partition.bisection import (
+    BFSBisector,
+    GeometricBisector,
+    HybridBisector,
+    enforce_balance,
+)
+from repro.partition.separator import is_vertex_separator
+from repro.utils.errors import PartitionError
+
+
+def _check_valid_bisection(graph, vertices, bisection):
+    covered = set(bisection.separator) | set(bisection.left) | set(bisection.right)
+    assert covered == set(vertices)
+    assert is_vertex_separator(graph, bisection.separator, bisection.left, bisection.right)
+
+
+class TestGeometricBisector:
+    def test_valid_on_grid(self, medium_grid):
+        bisection = GeometricBisector().bisect(medium_grid, list(medium_grid.vertices()))
+        _check_valid_bisection(medium_grid, list(medium_grid.vertices()), bisection)
+        assert bisection.balance <= 0.7
+
+    def test_small_separator_on_grid(self):
+        graph = grid_road_network(12, 12, seed=0, drop_probability=0.0, diagonal_probability=0.0)
+        bisection = GeometricBisector().bisect(graph, list(graph.vertices()))
+        assert len(bisection.separator) <= 20
+
+    def test_requires_coordinates(self, small_random):
+        with pytest.raises(PartitionError):
+            GeometricBisector().bisect(small_random, list(small_random.vertices()))
+
+    def test_subset_partition(self, medium_grid):
+        subset = list(range(0, medium_grid.num_vertices, 2))
+        bisection = GeometricBisector().bisect(medium_grid, subset)
+        covered = set(bisection.separator) | set(bisection.left) | set(bisection.right)
+        assert covered == set(subset)
+
+    def test_single_vertex(self, medium_grid):
+        bisection = GeometricBisector().bisect(medium_grid, [3])
+        assert bisection.left == [3]
+        assert bisection.separator == []
+
+
+class TestBFSBisector:
+    def test_valid_without_coordinates(self, small_random):
+        bisection = BFSBisector().bisect(small_random, list(small_random.vertices()))
+        _check_valid_bisection(small_random, list(small_random.vertices()), bisection)
+
+    def test_valid_on_grid(self, medium_grid):
+        bisection = BFSBisector().bisect(medium_grid, list(medium_grid.vertices()))
+        _check_valid_bisection(medium_grid, list(medium_grid.vertices()), bisection)
+
+
+class TestHybridBisector:
+    def test_uses_geometry_when_available(self, medium_grid):
+        bisection = HybridBisector().bisect(medium_grid, list(medium_grid.vertices()))
+        _check_valid_bisection(medium_grid, list(medium_grid.vertices()), bisection)
+
+    def test_falls_back_without_coordinates(self, small_random):
+        bisection = HybridBisector().bisect(small_random, list(small_random.vertices()))
+        _check_valid_bisection(small_random, list(small_random.vertices()), bisection)
+
+    def test_compare_both_picks_a_valid_result(self, medium_grid):
+        bisection = HybridBisector(compare_both=True).bisect(
+            medium_grid, list(medium_grid.vertices())
+        )
+        _check_valid_bisection(medium_grid, list(medium_grid.vertices()), bisection)
+
+    def test_disconnected_subset_split_without_separator(self):
+        graph = Graph.from_edges(6, [(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0)])
+        bisection = HybridBisector().bisect(graph, list(range(6)))
+        assert bisection.separator == []
+        assert set(bisection.left) | set(bisection.right) == set(range(6))
+
+
+class TestBalanceCheck:
+    def test_balanced_bisection_passes(self, medium_grid):
+        bisection = HybridBisector().bisect(medium_grid, list(medium_grid.vertices()))
+        assert enforce_balance(bisection, beta=0.2)
+
+    def test_invalid_beta_rejected(self, medium_grid):
+        bisection = HybridBisector().bisect(medium_grid, list(medium_grid.vertices()))
+        with pytest.raises(PartitionError):
+            enforce_balance(bisection, beta=0.9)
+
+    def test_random_graphs_bisect_cleanly(self):
+        for seed in range(4):
+            graph = random_connected_graph(60, 0.05, seed=seed)
+            bisection = HybridBisector().bisect(graph, list(graph.vertices()))
+            _check_valid_bisection(graph, list(graph.vertices()), bisection)

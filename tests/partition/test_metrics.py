@@ -1,0 +1,23 @@
+"""Unit tests for partition metrics."""
+
+from repro.graph.graph import Graph
+from repro.partition.metrics import balance_ratio, boundary_vertices, edge_cut_size
+
+
+def test_balance_ratio():
+    assert balance_ratio([1, 2], [3, 4]) == 0.5
+    assert balance_ratio([1, 2, 3], [4]) == 0.75
+    assert balance_ratio([], []) == 0.5
+    assert balance_ratio([1], []) == 1.0
+
+
+def test_edge_cut_size():
+    graph = Graph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)])
+    assert edge_cut_size(graph, [0, 1], [2, 3]) == 2
+    assert edge_cut_size(graph, [0, 1, 2, 3], []) == 0
+
+
+def test_boundary_vertices():
+    graph = Graph.from_edges(5, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+    assert boundary_vertices(graph, [0, 1, 2], [3, 4]) == [2]
+    assert boundary_vertices(graph, [3, 4], [0, 1, 2]) == [3]

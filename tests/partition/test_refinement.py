@@ -1,0 +1,42 @@
+"""Unit tests for FM-style bipartition refinement."""
+
+from repro.graph.generators import grid_road_network
+from repro.partition.metrics import edge_cut_size
+from repro.partition.refinement import refine_bipartition
+
+
+def test_refinement_never_increases_cut():
+    graph = grid_road_network(10, 10, seed=1, drop_probability=0.0)
+    n = graph.num_vertices
+    # Deliberately bad split: interleaved columns.
+    side_a = [v for v in range(n) if v % 2 == 0]
+    side_b = [v for v in range(n) if v % 2 == 1]
+    before = edge_cut_size(graph, side_a, side_b)
+    new_a, new_b = refine_bipartition(graph, side_a, side_b)
+    after = edge_cut_size(graph, new_a, new_b)
+    assert after <= before
+    assert set(new_a) | set(new_b) == set(range(n))
+    assert not (set(new_a) & set(new_b))
+
+
+def test_refinement_respects_balance_bound():
+    graph = grid_road_network(8, 8, seed=2, drop_probability=0.0)
+    n = graph.num_vertices
+    side_a = list(range(n // 2))
+    side_b = list(range(n // 2, n))
+    new_a, new_b = refine_bipartition(graph, side_a, side_b, max_imbalance=0.6)
+    assert max(len(new_a), len(new_b)) <= 0.6 * n + 1
+
+
+def test_refinement_empty_input():
+    graph = grid_road_network(4, 4, seed=0)
+    assert refine_bipartition(graph, [], []) == ([], [])
+
+
+def test_refinement_preserves_membership_sets():
+    graph = grid_road_network(6, 6, seed=3)
+    n = graph.num_vertices
+    side_a = list(range(0, n, 3))
+    side_b = [v for v in range(n) if v not in side_a]
+    new_a, new_b = refine_bipartition(graph, side_a, side_b)
+    assert sorted(new_a + new_b) == sorted(side_a + side_b)

@@ -1,0 +1,46 @@
+"""Unit tests for vertex-separator extraction."""
+
+from repro.graph.graph import Graph
+from repro.partition.separator import crossing_edges, extract_separator, is_vertex_separator
+
+
+def test_crossing_edges_on_path():
+    graph = Graph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    edges = crossing_edges(graph, [0, 1], [2, 3])
+    assert edges == [(1, 2)]
+
+
+def test_extract_separator_covers_all_crossings(small_grid):
+    n = small_grid.num_vertices
+    side_a = list(range(n // 2))
+    side_b = list(range(n // 2, n))
+    separator, new_a, new_b = extract_separator(small_grid, side_a, side_b)
+    assert is_vertex_separator(small_grid, separator, new_a, new_b)
+    assert set(separator) | set(new_a) | set(new_b) == set(range(n))
+    assert not (set(separator) & set(new_a))
+    assert not (set(separator) & set(new_b))
+
+
+def test_extract_separator_no_crossings():
+    graph = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    separator, new_a, new_b = extract_separator(graph, [0, 1], [2, 3])
+    assert separator == []
+    assert new_a == [0, 1]
+    assert new_b == [2, 3]
+
+
+def test_separator_is_reasonably_small_on_grid():
+    from repro.graph.generators import grid_road_network
+
+    graph = grid_road_network(10, 10, seed=0, drop_probability=0.0, diagonal_probability=0.0)
+    # Split along rows: the optimal vertex separator has ~10 vertices.
+    side_a = [v for v in range(graph.num_vertices) if v // 10 < 5]
+    side_b = [v for v in range(graph.num_vertices) if v // 10 >= 5]
+    separator, _, _ = extract_separator(graph, side_a, side_b)
+    assert len(separator) <= 12
+
+
+def test_is_vertex_separator_detects_leaks():
+    graph = Graph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    assert not is_vertex_separator(graph, [], [0, 1], [2, 3])
+    assert is_vertex_separator(graph, [1], [0], [2, 3])

@@ -1,0 +1,99 @@
+"""Property-based tests for the graph substrate and search algorithms."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.bidirectional import bidirectional_dijkstra
+from repro.algorithms.dijkstra import dijkstra, dijkstra_with_target
+from repro.graph.components import connected_components
+from repro.graph.generators import random_connected_graph
+from repro.graph.graph import Graph
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def arbitrary_graphs(draw):
+    """Possibly disconnected graphs with random integer weights."""
+    n = draw(st.integers(min_value=1, max_value=25))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=1, max_value=20),
+            ),
+            max_size=60,
+        )
+    )
+    graph = Graph(n)
+    for u, v, w in edges:
+        if u != v:
+            graph.add_edge(u, v, float(w))
+    return graph
+
+
+@SETTINGS
+@given(arbitrary_graphs())
+def test_dijkstra_matches_networkx(graph):
+    import networkx as nx
+
+    truth = dict(nx.all_pairs_dijkstra_path_length(graph.to_networkx()))
+    source = 0
+    dist = dijkstra(graph, source)
+    for v in graph.vertices():
+        expected = truth[source].get(v, math.inf)
+        assert dist[v] == expected or abs(dist[v] - expected) < 1e-9
+
+
+@SETTINGS
+@given(arbitrary_graphs())
+def test_bidirectional_matches_unidirectional(graph):
+    n = graph.num_vertices
+    pairs = [(0, n - 1), (n // 2, 0), (n - 1, n // 3)]
+    for s, t in pairs:
+        a = dijkstra_with_target(graph, s, t)
+        b = bidirectional_dijkstra(graph, s, t)
+        assert a == b or abs(a - b) < 1e-9
+
+
+@SETTINGS
+@given(arbitrary_graphs())
+def test_components_partition_vertices(graph):
+    components = connected_components(graph)
+    seen = [v for component in components for v in component]
+    assert sorted(seen) == list(graph.vertices())
+
+
+@SETTINGS
+@given(arbitrary_graphs())
+def test_copy_equals_original(graph):
+    clone = graph.copy()
+    assert sorted(clone.edges()) == sorted(graph.edges())
+    assert clone.num_vertices == graph.num_vertices
+
+
+@SETTINGS
+@given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=500))
+def test_random_connected_graph_is_connected(n, seed):
+    graph = random_connected_graph(n, 0.1, seed=seed)
+    assert len(connected_components(graph)) == 1
+    assert graph.num_vertices == n
+
+
+@SETTINGS
+@given(arbitrary_graphs(), st.integers(min_value=1, max_value=30))
+def test_set_weight_is_visible_to_searches(graph, new_weight):
+    edges = list(graph.edges())
+    if not edges:
+        return
+    u, v, _ = edges[0]
+    graph.set_weight(u, v, float(new_weight))
+    assert dijkstra_with_target(graph, u, v) <= new_weight

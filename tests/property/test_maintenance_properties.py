@@ -1,0 +1,107 @@
+"""Property-based tests for the dynamic maintenance algorithms.
+
+The central invariant: after any sequence of weight updates, the maintained
+labels are identical to labels rebuilt from scratch on the updated graph --
+for both Label Search and Pareto Search, and for increases and decreases.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.labelling import build_labels
+from repro.core.stl import StableTreeLabelling
+from repro.graph.generators import random_connected_graph
+from repro.graph.updates import EdgeUpdate
+from repro.hierarchy.builder import HierarchyOptions
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def update_scenarios(draw):
+    """A random graph plus a random sequence of weight updates on it."""
+    n = draw(st.integers(min_value=5, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = random_connected_graph(n, 0.15, seed=seed)
+    edges = list(graph.edges())
+    num_updates = draw(st.integers(min_value=1, max_value=8))
+    updates = []
+    for _ in range(num_updates):
+        index = draw(st.integers(min_value=0, max_value=len(edges) - 1))
+        action = draw(st.sampled_from(["x2", "x5", "half", "one", "x3"]))
+        updates.append((index, action))
+    return graph, updates
+
+
+def _next_weight(current: float, action: str) -> float:
+    if action == "x2":
+        return current * 2
+    if action == "x3":
+        return current * 3
+    if action == "x5":
+        return current * 5
+    if action == "half":
+        return max(1.0, current // 2)
+    return 1.0
+
+
+def _replay(graph, updates, maintenance):
+    stl = StableTreeLabelling.build(graph.copy(), HierarchyOptions(leaf_size=4), maintenance)
+    edges = list(graph.edges())
+    for index, action in updates:
+        u, v, _ = edges[index]
+        current = stl.graph.weight(u, v)
+        new_weight = float(_next_weight(current, action))
+        if new_weight == current:
+            continue
+        stl.apply_update(EdgeUpdate(u, v, current, new_weight))
+    return stl
+
+
+@SETTINGS
+@given(update_scenarios())
+def test_pareto_maintenance_equals_rebuild(scenario):
+    graph, updates = scenario
+    stl = _replay(graph, updates, "pareto")
+    rebuilt = build_labels(stl.graph, stl.hierarchy)
+    assert stl.labels.equals(rebuilt), stl.labels.differences(rebuilt)[:5]
+
+
+@SETTINGS
+@given(update_scenarios())
+def test_label_search_maintenance_equals_rebuild(scenario):
+    graph, updates = scenario
+    stl = _replay(graph, updates, "label_search")
+    rebuilt = build_labels(stl.graph, stl.hierarchy)
+    assert stl.labels.equals(rebuilt), stl.labels.differences(rebuilt)[:5]
+
+
+@SETTINGS
+@given(update_scenarios())
+def test_both_strategies_agree(scenario):
+    graph, updates = scenario
+    pareto = _replay(graph, updates, "pareto")
+    label_search = _replay(graph, updates, "label_search")
+    assert pareto.labels.equals(label_search.labels)
+
+
+@SETTINGS
+@given(update_scenarios())
+def test_queries_remain_metric_after_updates(scenario):
+    """Distances stay symmetric and satisfy the triangle inequality."""
+    graph, updates = scenario
+    stl = _replay(graph, updates, "pareto")
+    n = graph.num_vertices
+    triples = [(0, n // 2, n - 1), (n // 3, 0, n // 2)]
+    for a, b, c in triples:
+        assert stl.query(a, b) == pytest.approx(stl.query(b, a))
+        import math
+
+        dab, dac, dcb = stl.query(a, b), stl.query(a, c), stl.query(c, b)
+        if not any(map(math.isinf, (dab, dac, dcb))):
+            assert dab <= dac + dcb + 1e-9

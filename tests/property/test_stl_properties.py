@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for STL construction and queries."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.stl import StableTreeLabelling
+from repro.graph.generators import random_connected_graph
+from repro.graph.graph import Graph
+from repro.hierarchy.builder import HierarchyOptions, build_hierarchy
+from tests.conftest import nx_all_pairs
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def connected_graphs(draw, max_vertices=40):
+    """Random connected graphs with integer weights (many shortest-path ties)."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    extra = draw(st.floats(min_value=0.0, max_value=0.25))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_connected_graph(n, extra, seed=seed)
+
+
+@st.composite
+def weighted_trees(draw):
+    """Random trees: the worst case for balanced separators (long paths)."""
+    n = draw(st.integers(min_value=2, max_value=30))
+    seed_rng = draw(st.integers(min_value=0, max_value=10_000))
+    import random as _random
+
+    rng = _random.Random(seed_rng)
+    graph = Graph(n)
+    for v in range(1, n):
+        graph.add_edge(v, rng.randrange(v), float(rng.randint(1, 9)))
+    return graph
+
+
+class TestStaticProperties:
+    @SETTINGS
+    @given(connected_graphs())
+    def test_queries_match_dijkstra(self, graph):
+        stl = StableTreeLabelling.build(graph, HierarchyOptions(leaf_size=4))
+        truth = nx_all_pairs(graph)
+        vertices = list(graph.vertices())
+        for s in vertices[:: max(1, len(vertices) // 8)]:
+            for t in vertices[:: max(1, len(vertices) // 8)]:
+                expected = truth[s].get(t, math.inf)
+                assert abs(stl.query(s, t) - expected) < 1e-9 or stl.query(s, t) == expected
+
+    @SETTINGS
+    @given(weighted_trees())
+    def test_tree_graphs(self, graph):
+        stl = StableTreeLabelling.build(graph, HierarchyOptions(leaf_size=3))
+        truth = nx_all_pairs(graph)
+        for s in graph.vertices():
+            t = (s * 7 + 3) % graph.num_vertices
+            assert stl.query(s, t) == pytest.approx(truth[s][t])
+
+    @SETTINGS
+    @given(connected_graphs(max_vertices=30))
+    def test_hierarchy_invariants(self, graph):
+        hierarchy = build_hierarchy(graph, HierarchyOptions(leaf_size=4))
+        # Every vertex assigned, tau consistent with chain positions.
+        for v in graph.vertices():
+            chain = hierarchy.ancestors(v)
+            assert chain[-1] == v
+            assert len(chain) == hierarchy.tau[v] + 1
+        # Lemma 5.3: edges join comparable vertices.
+        for u, v, _ in graph.edges():
+            assert hierarchy.precedes(u, v) or hierarchy.precedes(v, u)
+
+    @SETTINGS
+    @given(connected_graphs(max_vertices=30))
+    def test_two_hop_cover_property(self, graph):
+        """Lemma 4.7: some common ancestor realises the exact distance."""
+        stl = StableTreeLabelling.build(graph, HierarchyOptions(leaf_size=4))
+        hierarchy, labels = stl.hierarchy, stl.labels
+        truth = nx_all_pairs(graph)
+        vertices = list(graph.vertices())
+        for s in vertices[:: max(1, len(vertices) // 6)]:
+            for t in vertices[:: max(1, len(vertices) // 6)]:
+                expected = truth[s].get(t, math.inf)
+                k = hierarchy.num_common_ancestors(s, t)
+                if s == t or math.isinf(expected):
+                    continue
+                realised = min(labels[s][i] + labels[t][i] for i in range(k))
+                assert realised == pytest.approx(expected)
+
+    @SETTINGS
+    @given(connected_graphs(max_vertices=30))
+    def test_query_symmetry_and_triangle_inequality(self, graph):
+        stl = StableTreeLabelling.build(graph, HierarchyOptions(leaf_size=4))
+        n = graph.num_vertices
+        probes = [(0, n - 1, n // 2), (n // 3, 2 * n // 3, 0)]
+        for a, b, c in probes:
+            dab, dba = stl.query(a, b), stl.query(b, a)
+            assert dab == pytest.approx(dba)
+            dac, dcb = stl.query(a, c), stl.query(c, b)
+            if not any(map(math.isinf, (dab, dac, dcb))):
+                assert dab <= dac + dcb + 1e-9

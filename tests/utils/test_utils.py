@@ -1,0 +1,127 @@
+"""Unit tests for timers, memory accounting, validation and RNG helpers."""
+
+import math
+import time
+
+import pytest
+
+from repro.utils.memory import MemoryEstimate, format_bytes, format_count
+from repro.utils.rng import make_rng, spawn_rng
+from repro.utils.timer import Timer, timed
+from repro.utils.validation import (
+    check_non_negative_weight,
+    check_positive_int,
+    check_probability,
+    check_vertex,
+)
+from repro.utils.errors import InvalidWeightError, VertexNotFoundError
+
+
+class TestTimer:
+    def test_measure_accumulates(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer.measure():
+                time.sleep(0.001)
+        assert timer.count == 3
+        assert timer.elapsed > 0
+        assert timer.average == pytest.approx(timer.elapsed / 3)
+        assert timer.average_ms == pytest.approx(timer.average * 1e3)
+        assert timer.average_us == pytest.approx(timer.average * 1e6)
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer.measure():
+            pass
+        timer.reset()
+        assert timer.count == 0
+        assert timer.elapsed == 0.0
+        assert timer.average == 0.0
+
+    def test_timed_context(self):
+        with timed() as t:
+            time.sleep(0.001)
+        assert t.elapsed > 0
+
+
+class TestMemory:
+    def test_total_bytes(self):
+        estimate = MemoryEstimate(distance_entries=10, id_entries=5, auxiliary_bytes=8)
+        assert estimate.total_bytes == 10 * 4 + 5 * 4 + 8
+        assert estimate.total_entries == 15
+
+    def test_addition(self):
+        a = MemoryEstimate(distance_entries=1, id_entries=2, auxiliary_bytes=3)
+        b = MemoryEstimate(distance_entries=10, id_entries=20, auxiliary_bytes=30)
+        combined = a + b
+        assert combined.distance_entries == 11
+        assert combined.auxiliary_bytes == 33
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.0 KB"
+        assert format_bytes(3 * 1024**2) == "3.0 MB"
+        assert format_bytes(5 * 1024**3) == "5.0 GB"
+
+    def test_format_count(self):
+        assert format_count(42) == "42"
+        assert format_count(4200) == "4.2 K"
+        assert format_count(30_000_000) == "30.0 M"
+        assert format_count(1_200_000_000) == "1.2 B"
+
+
+class TestValidation:
+    def test_weights(self):
+        assert check_non_negative_weight(3) == 3.0
+        with pytest.raises(InvalidWeightError):
+            check_non_negative_weight(-1)
+        with pytest.raises(InvalidWeightError):
+            check_non_negative_weight(math.nan)
+        with pytest.raises(InvalidWeightError):
+            check_non_negative_weight(math.inf)
+
+    def test_vertices(self):
+        assert check_vertex(2, 5) == 2
+        with pytest.raises(VertexNotFoundError):
+            check_vertex(5, 5)
+        with pytest.raises(VertexNotFoundError):
+            check_vertex(True, 5)
+        with pytest.raises(VertexNotFoundError):
+            check_vertex(-1, 5)
+
+    def test_probability(self):
+        assert check_probability(0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5)
+
+    def test_positive_int(self):
+        assert check_positive_int(3) == 3
+        with pytest.raises(ValueError):
+            check_positive_int(0)
+        with pytest.raises(ValueError):
+            check_positive_int(True)
+
+
+class TestRng:
+    def test_int_seed_is_deterministic(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_existing_rng_passed_through(self):
+        rng = make_rng(1)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_fresh_generator(self):
+        assert make_rng(None) is not make_rng(None)
+
+    def test_invalid_seed_type(self):
+        with pytest.raises(TypeError):
+            make_rng("seed")
+
+    def test_spawn_rng_independent(self):
+        parent = make_rng(3)
+        child = spawn_rng(parent)
+        assert child.random() != parent.random()

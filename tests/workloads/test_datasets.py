@@ -1,0 +1,58 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.graph.components import is_connected
+from repro.workloads.datasets import (
+    DATASETS,
+    DEFAULT_BENCH_DATASETS,
+    build_dataset,
+    dataset_table_rows,
+)
+from repro.utils.errors import WorkloadError
+
+
+def test_registry_matches_paper_inventory():
+    assert list(DATASETS) == ["NY", "BAY", "COL", "FLA", "CAL", "E", "W", "CTR", "USA", "EUR"]
+    assert DATASETS["USA"].paper_vertices == 23_947_347
+    assert set(DEFAULT_BENCH_DATASETS) <= set(DATASETS)
+
+
+def test_sizes_grow_like_the_paper():
+    sizes = [DATASETS[name].base_vertices for name in DATASETS if name != "EUR"]
+    assert sizes == sorted(sizes)
+
+
+def test_build_dataset_connected_and_deterministic():
+    a = build_dataset("NY", scale=0.5, seed=1)
+    b = build_dataset("NY", scale=0.5, seed=1)
+    assert is_connected(a)
+    assert a.num_vertices == b.num_vertices
+    assert sorted(a.edges()) == sorted(b.edges())
+
+
+def test_build_dataset_scale_changes_size():
+    small = build_dataset("BAY", scale=0.3, seed=0)
+    large = build_dataset("BAY", scale=1.0, seed=0)
+    assert large.num_vertices > small.num_vertices
+
+
+@pytest.mark.parametrize("name", ["COL", "FLA"])
+def test_each_generator_family_builds(name):
+    graph = build_dataset(name, scale=0.3, seed=2)
+    assert is_connected(graph)
+    assert graph.coordinates is not None
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(WorkloadError):
+        build_dataset("MARS")
+    with pytest.raises(WorkloadError):
+        build_dataset("NY", scale=0.0)
+
+
+def test_dataset_table_rows():
+    rows = dataset_table_rows(scale=0.3, names=["NY", "BAY"])
+    assert len(rows) == 2
+    assert rows[0]["network"] == "NY"
+    assert "paper |V|" in rows[0]

@@ -1,0 +1,56 @@
+"""Unit tests for query workload generation."""
+
+import math
+
+import pytest
+
+from repro.algorithms.dijkstra import dijkstra_with_target
+from repro.workloads.queries import (
+    distance_stratified_query_sets,
+    estimate_max_distance,
+    random_query_pairs,
+)
+from repro.utils.errors import WorkloadError
+from repro.graph.graph import Graph
+
+
+def test_random_pairs_basic(small_grid):
+    pairs = random_query_pairs(small_grid, 50, seed=1)
+    assert len(pairs) == 50
+    assert all(0 <= s < small_grid.num_vertices for s, _ in pairs)
+    assert all(s != t for s, t in pairs)
+
+
+def test_random_pairs_deterministic(small_grid):
+    assert random_query_pairs(small_grid, 20, seed=3) == random_query_pairs(small_grid, 20, seed=3)
+
+
+def test_random_pairs_need_two_vertices():
+    with pytest.raises(WorkloadError):
+        random_query_pairs(Graph(1), 5)
+
+
+def test_estimate_max_distance_is_a_lower_bound_on_nothing_but_positive(medium_grid):
+    estimate = estimate_max_distance(medium_grid, seed=0)
+    assert estimate > 0
+    # The double-sweep estimate is at least the distance of some real pair.
+    assert not math.isinf(estimate)
+
+
+def test_stratified_sets_have_increasing_distances(medium_grid):
+    buckets = distance_stratified_query_sets(
+        medium_grid, num_sets=6, pairs_per_set=20, seed=2
+    )
+    assert len(buckets) == 6
+    assert all(buckets), "every bucket should be non-empty"
+    averages = []
+    for bucket in buckets:
+        distances = [dijkstra_with_target(medium_grid, s, t) for s, t in bucket[:10]]
+        averages.append(sum(distances) / len(distances))
+    # Distances must grow from short-range to long-range buckets overall.
+    assert averages[-1] > averages[0]
+
+
+def test_stratified_sets_invalid_params(medium_grid):
+    with pytest.raises(WorkloadError):
+        distance_stratified_query_sets(medium_grid, num_sets=0)

@@ -1,0 +1,61 @@
+"""Unit tests for update workload generation."""
+
+import pytest
+
+from repro.graph.updates import UpdateKind
+from repro.workloads.updates import (
+    mixed_update_stream,
+    random_update_batch,
+    scaling_update_batches,
+)
+from repro.utils.errors import WorkloadError
+
+
+def test_random_update_batch_pairs_up(small_grid):
+    increases, decreases = random_update_batch(small_grid, 10, factor=2.0, seed=1)
+    assert len(increases) == len(decreases)
+    for inc, dec in zip(increases, decreases):
+        assert inc.kind is UpdateKind.INCREASE
+        assert dec.kind is UpdateKind.DECREASE
+        assert inc.new_weight == pytest.approx(inc.old_weight * 2.0)
+        assert dec.new_weight == pytest.approx(inc.old_weight)
+
+
+def test_random_update_batch_applies_and_restores(small_grid):
+    graph = small_grid.copy()
+    original = {(u, v): w for u, v, w in graph.edges()}
+    increases, decreases = random_update_batch(graph, 8, seed=2)
+    increases.apply(graph)
+    decreases.apply(graph)
+    assert {(u, v): w for u, v, w in graph.edges()} == original
+
+
+def test_random_update_batch_requires_factor_above_one(small_grid):
+    with pytest.raises(WorkloadError):
+        random_update_batch(small_grid, 5, factor=1.0)
+
+
+def test_scaling_batches_factors(small_grid):
+    batches = scaling_update_batches(small_grid, num_batches=4, batch_size=5, seed=0)
+    assert [factor for factor, _, _ in batches] == [2.0, 3.0, 4.0, 5.0]
+    for factor, increases, _ in batches:
+        for update in increases:
+            assert update.new_weight == pytest.approx(update.old_weight * factor)
+
+
+def test_mixed_stream_increases_then_restores(small_grid):
+    stream = mixed_update_stream(small_grid, 6, seed=3)
+    updates = list(stream)
+    half = len(updates) // 2
+    assert all(u.kind is UpdateKind.INCREASE for u in updates[:half])
+    assert all(u.kind is UpdateKind.DECREASE for u in updates[half:])
+    graph = small_grid.copy()
+    original = {(u, v): w for u, v, w in graph.edges()}
+    stream.apply(graph)
+    assert {(u, v): w for u, v, w in graph.edges()} == original
+
+
+def test_update_generators_deduplicate_edges(small_grid):
+    increases, _ = random_update_batch(small_grid, 30, seed=4)
+    edges = [(u.u, u.v) if u.u < u.v else (u.v, u.u) for u in increases]
+    assert len(edges) == len(set(edges))
