@@ -32,6 +32,7 @@ Quickstart::
 from repro.graph.graph import Graph
 from repro.graph.updates import EdgeUpdate, UpdateBatch
 from repro.graph import generators
+from repro.core.batch import BatchPolicy
 from repro.core.stl import StableTreeLabelling
 from repro.hierarchy.builder import HierarchyOptions
 
@@ -41,6 +42,7 @@ __all__ = [
     "UpdateBatch",
     "generators",
     "StableTreeLabelling",
+    "BatchPolicy",
     "HierarchyOptions",
     "__version__",
 ]

@@ -1,5 +1,6 @@
 """Stable Tree Labelling: construction, queries and dynamic maintenance."""
 
+from repro.core.batch import BatchedParetoEngine, BatchPolicy
 from repro.core.labelling import STLLabels, build_labels
 from repro.core.query import query_distance
 from repro.core.stl import StableTreeLabelling
@@ -7,6 +8,8 @@ from repro.core.label_search import LabelSearchDecrease, LabelSearchIncrease
 from repro.core.pareto_search import ParetoSearchDecrease, ParetoSearchIncrease
 
 __all__ = [
+    "BatchPolicy",
+    "BatchedParetoEngine",
     "STLLabels",
     "build_labels",
     "query_distance",

@@ -1,0 +1,240 @@
+"""Batched Pareto Search maintenance (the paper's Figure 10 batch regime).
+
+The per-update Pareto Search algorithms (:mod:`repro.core.pareto_search`) run
+two interval searches per update.  For the batch workloads of the evaluation
+(Figure 10: groups of hundreds of updates) that wastes work twice over:
+
+* overlapping updates re-explore the same regions -- the affected
+  ``(vertex, level)`` sets of nearby updates largely coincide, and
+* every update pays its own repair phase even though the repairs are
+  Dijkstra searches over the *same* labels.
+
+:class:`BatchedParetoEngine` lifts the sharing that Label Search's per-index
+queues already exploit (see :mod:`repro.core.label_search`) into the
+update-centric Pareto structure, for a batch of **coalesced** updates (one
+net update per edge, see :meth:`repro.graph.updates.UpdateBatch.coalesce`):
+
+* **Increases** -- one shared mark phase runs every endpoint search on the
+  unmodified graph and merges the affected ``(vertex, level)`` sets,
+  accumulating per-entry bumps (the sum of the deltas of every update whose
+  old shortest paths cross the entry -- a valid upper bound, since keeping
+  any old shortest path costs its old length plus the deltas of the updated
+  edges it uses).  All new weights are then applied at once and a *single*
+  combined bump-and-repair (Algorithm 5) restores exact distances.
+* **Decreases** -- all new weights are applied first, then every endpoint
+  search runs on one *shared frontier*: a single priority queue interleaves
+  the searches (each keeps its own ``level()`` pruning map, so per-context
+  pops still arrive in nondecreasing distance order), and because decrease
+  repairs are monotone toward the true distances, a repair made by one
+  search immediately prunes the relaxations of every other.
+
+Correctness of the decrease pass on the fully-decreased graph: a label entry
+whose distance drops has a new shortest path that can be decomposed at its
+decreased edge *closest to the ancestor*, ``v .. x -> y .. anc``, where the
+suffix avoids decreased edges; the search context rooted at ``y`` relaxes the
+entry with ``d(v .. x -> y) + L(y)[i]``, and ``L(y)[i]`` never exceeds the
+suffix length (the suffix is old-valid) nor undershoots the true new
+distance.  Tests verify both passes entry-wise against from-scratch rebuilds.
+
+:class:`BatchPolicy` additionally decides when maintaining is no longer worth
+it: past a configurable fraction of affected edges a from-scratch label
+rebuild (the Figure 10 baseline) is cheaper, and
+:meth:`repro.core.stl.StableTreeLabelling.apply_batch` falls back to it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Sequence
+
+from repro.core.label_search import MaintenanceStats, _orient
+from repro.core.labelling import STLLabels
+from repro.core.pareto_search import ParetoSearchIncrease
+from repro.graph.graph import Graph
+from repro.graph.updates import EdgeUpdate, UpdateKind
+from repro.hierarchy.tree import StableTreeHierarchy
+from repro.utils.errors import UpdateError
+
+
+@dataclass
+class BatchPolicy:
+    """Knobs governing how a batch of updates is processed.
+
+    Attributes
+    ----------
+    rebuild_min_updates:
+        Never fall back to a rebuild for batches with fewer net updates than
+        this; small batches are always cheaper to maintain incrementally.
+    rebuild_fraction:
+        Fall back to a from-scratch label rebuild when the number of net
+        (coalesced) updates exceeds this fraction of the graph's edges.
+        ``None`` disables the fallback entirely (the engine always runs).
+    """
+
+    rebuild_min_updates: int = 64
+    rebuild_fraction: float | None = 0.25
+
+    def should_rebuild(self, num_net_updates: int, num_edges: int) -> bool:
+        """Whether a batch of ``num_net_updates`` warrants a full rebuild."""
+        if self.rebuild_fraction is None:
+            return False
+        if num_net_updates < self.rebuild_min_updates:
+            return False
+        return num_net_updates > self.rebuild_fraction * max(1, num_edges)
+
+
+class BatchedParetoEngine:
+    """Shared-phase Pareto Search over a coalesced batch of updates."""
+
+    def __init__(self, graph: Graph, hierarchy: StableTreeHierarchy, labels: STLLabels):
+        self.graph = graph
+        self.hierarchy = hierarchy
+        self.labels = labels
+        # Reuses the per-update engine's mark and bump-and-repair phases; the
+        # batching is in how their inputs are merged, not in the searches.
+        self._increase = ParetoSearchIncrease(graph, hierarchy, labels)
+
+    def apply(self, updates: Sequence[EdgeUpdate]) -> MaintenanceStats:
+        """Apply one coalesced batch (at most one net update per edge).
+
+        Net increases are processed first (their mark phase must see the
+        pre-batch weights), then net decreases on the increased graph; the
+        two groups touch disjoint edges, so the decreases' recorded old
+        weights stay valid.  NEUTRAL net updates change nothing but are
+        counted as processed.
+
+        Raises :class:`UpdateError` if an edge appears more than once (the
+        kind-partitioned processing below would silently reorder such a
+        chain -- the very corruption coalescing exists to fix) or if an
+        update's ``old_weight`` does not match the live graph (a stale
+        ``old_weight`` mis-scopes the mark phase and mis-classifies the net
+        kind, again silently).  ``UpdateBatch.coalesce`` establishes both
+        preconditions.
+        """
+        seen: set[tuple[int, int]] = set()
+        for update in updates:
+            key = (update.u, update.v) if update.u < update.v else (update.v, update.u)
+            if key in seen:
+                raise UpdateError(
+                    f"BatchedParetoEngine.apply requires a coalesced batch, but "
+                    f"edge ({update.u}, {update.v}) appears more than once; "
+                    f"fold the batch with UpdateBatch.coalesce first"
+                )
+            seen.add(key)
+            current = self.graph.weight(update.u, update.v)
+            if current != update.old_weight:
+                raise UpdateError(
+                    f"edge ({update.u}, {update.v}) has weight {current}, "
+                    f"update expected {update.old_weight}"
+                )
+        increases = [u for u in updates if u.kind is UpdateKind.INCREASE]
+        decreases = [u for u in updates if u.kind is UpdateKind.DECREASE]
+        stats = MaintenanceStats(updates_processed=len(updates))
+        if increases:
+            stats.merge(self._apply_increases(increases))
+        if decreases:
+            stats.merge(self._apply_decreases(decreases))
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Increases: merged mark phase + one combined bump-and-repair
+    # ------------------------------------------------------------------ #
+
+    def _apply_increases(self, increases: Sequence[EdgeUpdate]) -> MaintenanceStats:
+        stats = MaintenanceStats()
+        tau = self.hierarchy.tau
+
+        # Mark phase: every endpoint search runs on the *old* graph and old
+        # labels; per (vertex, level) the deltas of all marking updates
+        # accumulate into one upper-bound bump.
+        affected: dict[int, dict[int, float]] = {}
+        for update in increases:
+            a, b = _orient(update, tau)
+            delta = update.new_weight - update.old_weight
+            marks: dict[int, set[int]] = {}
+            stats.merge(self._increase.mark_affected(a, b, update.old_weight, marks))
+            stats.merge(self._increase.mark_affected(b, a, update.old_weight, marks))
+            for v, levels in marks.items():
+                row = affected.setdefault(v, {})
+                for i in levels:
+                    row[i] = row.get(i, 0.0) + delta
+        stats.vertices_affected += len(affected)
+
+        for update in increases:
+            self.graph.set_weight(update.u, update.v, update.new_weight)
+        if affected:
+            stats.merge(self._increase.bump_and_repair(affected))
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Decreases: all endpoint searches on one shared frontier
+    # ------------------------------------------------------------------ #
+
+    def _apply_decreases(self, decreases: Sequence[EdgeUpdate]) -> MaintenanceStats:
+        stats = MaintenanceStats()
+        tau = self.hierarchy.tau
+        labels = self.labels
+        graph = self.graph
+
+        for update in decreases:
+            graph.set_weight(update.u, update.v, update.new_weight)
+        adjacency = graph.adjacency()
+
+        # One search context per (root, start) endpoint pair; all contexts
+        # share a single frontier heap.  Heap entries carry the context id so
+        # each pop relaxes against its own root label and level() map, while
+        # repairs written by one context prune the candidates of the others.
+        root_labels: list[list[float]] = []
+        level_maps: list[dict[int, int]] = []
+        heap: list[tuple[float, int, int, int, int]] = []
+        for update in decreases:
+            a, b = _orient(update, tau)
+            phi = update.new_weight
+            rmin = min(tau[a], tau[b])
+            for root, start in ((a, b), (b, a)):
+                ctx = len(root_labels)
+                root_labels.append(labels[root])
+                level_maps.append({})
+                heappush(heap, (phi, 0, ctx, start, rmin))
+                stats.heap_pushes += 1
+
+        # Same interval-search body as ParetoSearchDecrease._search_and_repair,
+        # with the per-context state looked up per pop.  Per-context pops
+        # still arrive in nondecreasing distance order (a subsequence of a
+        # globally distance-ordered heap), which keeps the level(v) pruning
+        # safe.
+        while heap:
+            d, active_min, ctx, v, active_max = heappop(heap)
+            level = level_maps[ctx]
+            active_max = min(active_max, tau[v])
+            active_min = max(active_min, level.get(v, 0))
+            if active_min > active_max:
+                continue
+            level[v] = active_max + 1
+            stats.vertices_affected += 1
+
+            label_root = root_labels[ctx]
+            label_v = labels[v]
+            new_min = -1
+            new_max = -1
+            for i in range(active_min, active_max + 1):
+                root_dist = label_root[i]
+                if math.isinf(root_dist):
+                    continue
+                candidate = d + root_dist
+                if candidate < label_v[i]:
+                    label_v[i] = candidate
+                    stats.labels_changed += 1
+                    if new_min == -1:
+                        new_min = i
+                    new_max = i
+
+            if new_min != -1:
+                for nbr, weight in adjacency[v]:
+                    if math.isinf(weight) or tau[nbr] < new_min:
+                        continue
+                    heappush(heap, (d + weight, new_min, ctx, nbr, new_max))
+                    stats.heap_pushes += 1
+        return stats

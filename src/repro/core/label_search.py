@@ -82,20 +82,27 @@ def _orient(update: EdgeUpdate, tau: list[int]) -> tuple[int, int]:
     return (u, v) if tau[u] < tau[v] else (v, u)
 
 
-class LabelSearchDecrease:
-    """Algorithm 1: Label Search for edge-weight decreases."""
+class _LabelSearchBase:
+    """Shared plumbing of the decrease / increase Label Searches."""
 
     def __init__(self, graph: Graph, hierarchy: StableTreeHierarchy, labels: STLLabels):
         self.graph = graph
         self.hierarchy = hierarchy
         self.labels = labels
 
+    @staticmethod
+    def _as_update_list(updates: Iterable[EdgeUpdate] | EdgeUpdate) -> list[EdgeUpdate]:
+        if isinstance(updates, EdgeUpdate):
+            return [updates]
+        return list(updates)
+
+
+class LabelSearchDecrease(_LabelSearchBase):
+    """Algorithm 1: Label Search for edge-weight decreases."""
+
     def apply(self, updates: Iterable[EdgeUpdate] | EdgeUpdate) -> MaintenanceStats:
         """Apply a batch of weight decreases and repair the labels."""
-        if isinstance(updates, EdgeUpdate):
-            updates = [updates]
-        else:
-            updates = list(updates)
+        updates = self._as_update_list(updates)
         stats = MaintenanceStats()
         tau = self.hierarchy.tau
         labels = self.labels
@@ -149,20 +156,12 @@ class LabelSearchDecrease:
         return stats
 
 
-class LabelSearchIncrease:
+class LabelSearchIncrease(_LabelSearchBase):
     """Algorithm 2: Label Search for edge-weight increases."""
-
-    def __init__(self, graph: Graph, hierarchy: StableTreeHierarchy, labels: STLLabels):
-        self.graph = graph
-        self.hierarchy = hierarchy
-        self.labels = labels
 
     def apply(self, updates: Iterable[EdgeUpdate] | EdgeUpdate) -> MaintenanceStats:
         """Apply a batch of weight increases and repair the labels."""
-        if isinstance(updates, EdgeUpdate):
-            updates = [updates]
-        else:
-            updates = list(updates)
+        updates = self._as_update_list(updates)
         stats = MaintenanceStats()
         tau = self.hierarchy.tau
         labels = self.labels

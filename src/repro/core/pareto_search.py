@@ -33,28 +33,19 @@ import math
 from heapq import heappop, heappush
 from typing import Iterable
 
-from repro.core.label_search import MaintenanceStats, _orient
-from repro.core.labelling import STLLabels
-from repro.graph.graph import Graph
+from repro.core.label_search import MaintenanceStats, _LabelSearchBase, _orient
 from repro.graph.updates import EdgeUpdate, UpdateKind
-from repro.hierarchy.tree import StableTreeHierarchy
 from repro.utils.errors import UpdateError
 
 UNREACHABLE = math.inf
 
 
-class _ParetoSearchBase:
-    """Shared plumbing of the decrease / increase Pareto searches."""
+class _ParetoSearchBase(_LabelSearchBase):
+    """Shared plumbing of the decrease / increase Pareto searches.
 
-    def __init__(self, graph: Graph, hierarchy: StableTreeHierarchy, labels: STLLabels):
-        self.graph = graph
-        self.hierarchy = hierarchy
-        self.labels = labels
-
-    def _as_update_list(self, updates: Iterable[EdgeUpdate] | EdgeUpdate) -> list[EdgeUpdate]:
-        if isinstance(updates, EdgeUpdate):
-            return [updates]
-        return list(updates)
+    The constructor and update normalisation are identical to Label Search's,
+    so they are inherited rather than duplicated.
+    """
 
 
 class ParetoSearchDecrease(_ParetoSearchBase):
@@ -172,8 +163,8 @@ class ParetoSearchIncrease(_ParetoSearchBase):
         # following old shortest paths through the updated edge, from both
         # endpoints (Algorithm 4).
         affected: dict[int, set[int]] = {}
-        stats.merge(self._mark_affected(a, b, update.old_weight, affected))
-        stats.merge(self._mark_affected(b, a, update.old_weight, affected))
+        stats.merge(self.mark_affected(a, b, update.old_weight, affected))
+        stats.merge(self.mark_affected(b, a, update.old_weight, affected))
         stats.vertices_affected += len(affected)
 
         # Apply the new weight, bump affected entries by +delta (a valid upper
@@ -181,10 +172,10 @@ class ParetoSearchIncrease(_ParetoSearchBase):
         # repair (Algorithm 5).
         self.graph.set_weight(update.u, update.v, update.new_weight)
         if affected:
-            stats.merge(self._bump_and_repair(affected, delta))
+            stats.merge(self.bump_and_repair(affected, delta))
         return stats
 
-    def _mark_affected(
+    def mark_affected(
         self,
         root: int,
         start: int,
@@ -243,30 +234,42 @@ class ParetoSearchIncrease(_ParetoSearchBase):
                     stats.heap_pushes += 1
         return stats
 
-    def _bump_and_repair(
-        self, affected: dict[int, set[int]], delta: float
+    def bump_and_repair(
+        self,
+        affected: dict[int, dict[int, float]] | dict[int, set[int]],
+        delta: float | None = None,
     ) -> MaintenanceStats:
-        """Algorithm 5: bump affected entries by +delta and repair them.
+        """Algorithm 5: bump affected entries and repair them.
 
-        Entries are bumped only at the exact affected levels (Algorithm 4,
-        line 18 applies the bump where the equality held); the repair then
-        restores entries whose true new distance is smaller than the bound.
-        The paper groups affected levels into intervals for cache locality --
-        a C++ consideration; here the exact level sets are used directly,
-        which produces the same labels with less Python-level work.
+        With ``delta`` given, ``affected`` maps each vertex to a *set* of
+        levels and every entry is bumped by the same +delta -- the
+        per-update fast path (Algorithm 4, line 18 applies the bump where
+        the equality held), kept allocation-free because it sits on the
+        Figure 8/10 per-update hot loop.  Without ``delta``, ``affected``
+        maps each vertex to ``{level: bump}`` with per-entry accumulated
+        deltas: the batched engine in :mod:`repro.core.batch` sums the
+        deltas of every update whose mark phase hit the entry -- still a
+        valid upper bound, since keeping any old shortest path costs at most
+        its old length plus the deltas of the updated edges it crosses.  The
+        repair then restores entries whose true new distance is smaller than
+        the bound.  The paper groups affected levels into intervals for cache
+        locality -- a C++ consideration; here the exact level sets are used
+        directly, which produces the same labels with less Python-level work.
         """
         stats = MaintenanceStats()
         tau = self.hierarchy.tau
         labels = self.labels
         adjacency = self.graph.adjacency()
 
-        # Upper-bound bump (Algorithm 4, line 18): a shortest path uses the
-        # updated edge at most once, so old + delta bounds the new distance.
+        # Upper-bound bump (Algorithm 4, line 18): a shortest path uses each
+        # updated edge at most once, so old + accumulated delta bounds the
+        # new distance.
         for v, levels in affected.items():
             label_v = labels[v]
-            for i in levels:
+            items = levels.items() if delta is None else ((i, delta) for i in levels)
+            for i, bump in items:
                 if not math.isinf(label_v[i]):
-                    label_v[i] += delta
+                    label_v[i] += bump
                     stats.labels_changed += 1
 
         # Seed the repair queue from *all* neighbours (Algorithm 5, lines 2-6);

@@ -24,6 +24,10 @@ def query_distance(
     t: int,
 ) -> float:
     """Shortest-path distance between ``s`` and ``t`` (``inf`` if disconnected)."""
+    if s < 0 or t < 0:
+        # Without this guard Python's negative indexing would silently answer
+        # for vertex n+s; too-large ids already raise from the lookups below.
+        raise IndexError(f"vertex ids must be non-negative, got ({s}, {t})")
     if s == t:
         return 0.0
     prefix = hierarchy.num_common_ancestors(s, t)
@@ -49,6 +53,8 @@ def query_with_hub(
     vertices are identical or disconnected).  Used by the examples to explain
     which separator level answered a query.
     """
+    if s < 0 or t < 0:
+        raise IndexError(f"vertex ids must be non-negative, got ({s}, {t})")
     if s == t:
         return 0.0, -1
     prefix = hierarchy.num_common_ancestors(s, t)

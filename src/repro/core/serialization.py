@@ -21,7 +21,10 @@ from repro.graph.graph import Graph
 from repro.hierarchy.tree import StableTreeHierarchy
 from repro.utils.errors import SerializationError
 
-FORMAT_VERSION = 1
+#: Version 2 added ``construction_seconds``; version-1 payloads (without the
+#: field) are still readable and report a construction time of 0.0.
+FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 _INF_SENTINEL = -1.0
 
 
@@ -40,6 +43,7 @@ def serialize_labelling(stl: StableTreeLabelling) -> dict:
         "format_version": FORMAT_VERSION,
         "num_vertices": hierarchy.num_vertices,
         "maintenance": stl.maintenance_mode,
+        "construction_seconds": stl.construction_seconds,
         "nodes": [
             {
                 "parent": node.parent,
@@ -59,7 +63,7 @@ def serialize_labelling(stl: StableTreeLabelling) -> dict:
 
 def deserialize_labelling(payload: dict, graph: Graph) -> StableTreeLabelling:
     """Rebuild an index from :func:`serialize_labelling` output."""
-    if payload.get("format_version") != FORMAT_VERSION:
+    if payload.get("format_version") not in _SUPPORTED_VERSIONS:
         raise SerializationError(
             f"unsupported format version {payload.get('format_version')!r}"
         )
@@ -80,7 +84,13 @@ def deserialize_labelling(payload: dict, graph: Graph) -> StableTreeLabelling:
                 f"label of vertex {v} has {len(labels[v])} entries, "
                 f"expected {hierarchy.tau[v] + 1}"
             )
-    return StableTreeLabelling(graph, hierarchy, labels, payload.get("maintenance", "pareto"))
+    return StableTreeLabelling(
+        graph,
+        hierarchy,
+        labels,
+        payload.get("maintenance", "pareto"),
+        construction_seconds=float(payload.get("construction_seconds", 0.0)),
+    )
 
 
 def save_labelling(stl: StableTreeLabelling, path_or_handle: str | TextIO) -> None:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from typing import Iterable, Literal
 
+from repro.core.batch import BatchedParetoEngine, BatchPolicy
 from repro.core.label_search import (
     LabelSearchDecrease,
     LabelSearchIncrease,
@@ -28,10 +29,10 @@ from repro.core.label_search import (
 )
 from repro.core.labelling import STLLabels, build_labels
 from repro.core.pareto_search import ParetoSearchDecrease, ParetoSearchIncrease
-from repro.core.query import query_distance, query_with_hub
+from repro.core.query import batch_query, query_distance, query_with_hub
 from repro.core.stats import IndexStats
 from repro.graph.graph import Graph
-from repro.graph.updates import EdgeUpdate, UpdateKind
+from repro.graph.updates import EdgeUpdate, UpdateBatch, UpdateKind
 from repro.hierarchy.builder import HierarchyOptions, build_hierarchy
 from repro.hierarchy.tree import StableTreeHierarchy
 from repro.utils.errors import UpdateError
@@ -56,11 +57,13 @@ class StableTreeLabelling:
         labels: STLLabels,
         maintenance: MaintenanceMode = "pareto",
         construction_seconds: float = 0.0,
+        batch_policy: BatchPolicy | None = None,
     ):
         self.graph = graph
         self.hierarchy = hierarchy
         self.labels = labels
         self.construction_seconds = construction_seconds
+        self.batch_policy = batch_policy or BatchPolicy()
         self.set_maintenance(maintenance)
 
     # ------------------------------------------------------------------ #
@@ -96,6 +99,7 @@ class StableTreeLabelling:
         else:
             self._decrease = LabelSearchDecrease(self.graph, self.hierarchy, self.labels)
             self._increase = LabelSearchIncrease(self.graph, self.hierarchy, self.labels)
+        self._batch_engine = BatchedParetoEngine(self.graph, self.hierarchy, self.labels)
 
     @property
     def maintenance_mode(self) -> MaintenanceMode:
@@ -109,9 +113,12 @@ class StableTreeLabelling:
     def query(self, s: int, t: int) -> float:
         """Shortest-path distance between ``s`` and ``t`` (Equation 3).
 
-        Vertex ids are not re-validated here: the query is the hot path of
-        the whole library, and out-of-range ids fail loudly with an
-        ``IndexError`` from the label lookup anyway.
+        Vertex ids are not fully re-validated here: the query is the hot path
+        of the whole library.  Too-large ids fail loudly with an
+        ``IndexError`` from the label lookup; negative ids are caught by a
+        single-comparison guard in :func:`repro.core.query.query_distance`
+        (Python's negative indexing would otherwise silently answer for
+        vertex ``n + s``).
         """
         return query_distance(self.hierarchy, self.labels, s, t)
 
@@ -122,8 +129,8 @@ class StableTreeLabelling:
         return query_with_hub(self.hierarchy, self.labels, s, t)
 
     def batch_query(self, pairs: Iterable[tuple[int, int]]) -> list[float]:
-        """Answer many queries (convenience wrapper used by the harness)."""
-        return [self.query(s, t) for s, t in pairs]
+        """Answer many queries (delegates to :func:`repro.core.query.batch_query`)."""
+        return batch_query(self.hierarchy, self.labels, list(pairs))
 
     # ------------------------------------------------------------------ #
     # Maintenance
@@ -137,20 +144,76 @@ class StableTreeLabelling:
             return self._decrease.apply(update)
         return MaintenanceStats(updates_processed=1)
 
-    def apply_batch(self, updates: Iterable[EdgeUpdate]) -> MaintenanceStats:
-        """Apply a batch of updates.
+    def apply_batch(
+        self,
+        updates: Iterable[EdgeUpdate],
+        policy: BatchPolicy | None = None,
+    ) -> MaintenanceStats:
+        """Apply a batch of updates with per-edge coalescing.
 
-        Decreases and increases are grouped and handed to the respective
-        algorithm, which is how the paper processes its mixed batches.
+        Batch semantics:
+
+        * **Coalescing** -- the batch is first folded into one *net* update
+          per edge (:meth:`repro.graph.updates.UpdateBatch.coalesce`): an
+          edge touched by both increases and decreases ends at the weight of
+          its last update, never at a kind-grouped reordering of the chain.
+          The net update's kind classifies the overall effect, so a chain
+          that cancels out is a NEUTRAL no-op.
+        * **Net-kind processing** -- net increases run before net decreases
+          (disjoint edges, so the order only fixes which pass pays for which
+          entry).  In ``pareto`` mode both passes go through the shared-phase
+          :class:`repro.core.batch.BatchedParetoEngine`; in ``label_search``
+          mode the natively batched Algorithms 1-2 process each group.
+        * **Rebuild crossover** -- when the net batch exceeds
+          ``policy.rebuild_fraction`` of the graph's edges (and
+          ``policy.rebuild_min_updates``), maintaining is slower than
+          reconstructing: the weights are applied and the labels are rebuilt
+          from scratch in place (``stats.extra["rebuild_fallback"]`` records
+          the fallback).  ``policy`` defaults to :attr:`batch_policy`.
+
+        ``updates_processed`` counts every update consumed from the input
+        batch, including NEUTRAL updates and updates folded away by
+        coalescing; ``stats.extra["net_updates"]`` reports the coalesced
+        batch size.
         """
-        updates = list(updates)
-        increases = [u for u in updates if u.kind is UpdateKind.INCREASE]
-        decreases = [u for u in updates if u.kind is UpdateKind.DECREASE]
-        stats = MaintenanceStats()
-        if increases:
-            stats.merge(self._increase.apply(increases))
-        if decreases:
-            stats.merge(self._decrease.apply(decreases))
+        batch = updates if isinstance(updates, UpdateBatch) else UpdateBatch(updates)
+        total = len(batch)
+        if total == 0:
+            return MaintenanceStats()
+        policy = policy or self.batch_policy
+        net = batch.coalesce(self.graph)
+        # NEUTRAL nets (cancelled chains) do no maintenance work, so they must
+        # not push an otherwise-small batch over the rebuild crossover.
+        effective = sum(1 for u in net if u.kind is not UpdateKind.NEUTRAL)
+        if policy.should_rebuild(effective, self.graph.num_edges):
+            stats = self._rebuild_in_place(net)
+        elif self._maintenance_mode == "pareto":
+            stats = self._batch_engine.apply(net.updates)
+        else:
+            increases = net.increases()
+            decreases = net.decreases()
+            neutral = len(net) - len(increases) - len(decreases)
+            stats = MaintenanceStats(updates_processed=neutral)
+            if len(increases):
+                stats.merge(self._increase.apply(increases))
+            if len(decreases):
+                stats.merge(self._decrease.apply(decreases))
+        stats.updates_processed += total - len(net)
+        stats.extra["net_updates"] = len(net)
+        return stats
+
+    def _rebuild_in_place(self, net: UpdateBatch) -> MaintenanceStats:
+        """Apply ``net`` to the graph and rebuild the labels from scratch.
+
+        The hierarchy is weight-independent, so only the labels are
+        recomputed; the label object is mutated in place to keep the
+        maintenance engines (which hold a reference to it) valid.
+        """
+        for update in net:
+            self.graph.set_weight(update.u, update.v, update.new_weight)
+        self.labels.labels[:] = build_labels(self.graph, self.hierarchy).labels
+        stats = MaintenanceStats(updates_processed=len(net))
+        stats.extra["rebuild_fallback"] = 1
         return stats
 
     def increase_edge(self, u: int, v: int, new_weight: float) -> MaintenanceStats:

@@ -6,6 +6,15 @@ processed in groups of growing size; the cumulative maintenance time of STL
 scratch.  The paper's observation -- maintenance stays below reconstruction
 even for the largest group -- is the headline argument for incremental
 maintenance.
+
+Two maintenance flavours are measured per group:
+
+* the historical **per-update loop** (``apply_update`` per stream entry), and
+* the **batched path** (``apply_batch`` on the increase half, then on the
+  decrease half), which coalesces per edge, shares the mark/repair phases of
+  Pareto Search across the whole group, and auto-falls back to an in-place
+  label rebuild past the :class:`repro.core.batch.BatchPolicy` crossover
+  (reported in the ``rebuild fallbacks`` row).
 """
 
 from __future__ import annotations
@@ -13,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.stl import StableTreeLabelling
-from repro.experiments.harness import ExperimentConfig
+from repro.experiments.harness import ExperimentConfig, measure_batched_seconds
 from repro.experiments.reporting import format_series
 from repro.utils.timer import Timer
 from repro.workloads.datasets import build_dataset
@@ -27,11 +36,15 @@ class Figure10Series:
     network: str
     group_sizes: list[int] = field(default_factory=list)
     maintenance_seconds: list[float] = field(default_factory=list)
+    batched_seconds: list[float] = field(default_factory=list)
+    rebuild_fallbacks: list[int] = field(default_factory=list)
     reconstruction_seconds: float = 0.0
 
     def as_series(self) -> dict[str, list[float]]:
         return {
-            "STL maintenance [s]": self.maintenance_seconds,
+            "STL per-update [s]": self.maintenance_seconds,
+            "STL batched [s]": self.batched_seconds,
+            "Rebuild fallbacks": [float(n) for n in self.rebuild_fallbacks],
             "Reconstruction [s]": [self.reconstruction_seconds] * len(self.group_sizes),
         }
 
@@ -40,12 +53,19 @@ def run_figure10(
     config: ExperimentConfig | None = None,
     group_sizes: tuple[int, ...] = (25, 50, 100, 200, 400),
 ) -> list[Figure10Series]:
-    """Measure grouped maintenance time against full reconstruction."""
+    """Measure grouped maintenance time against full reconstruction.
+
+    Every group is measured twice on the same update stream: once through the
+    per-update loop and once through the batched path.  Both passes restore
+    the graph to its original weights (the stream nets to zero), so the
+    measurements are directly comparable.
+    """
     config = config or ExperimentConfig()
     results: list[Figure10Series] = []
     for name in config.datasets:
         graph = build_dataset(name, scale=config.scale, seed=config.seed)
         stl = StableTreeLabelling.build(graph.copy(), config.hierarchy_options())
+        stl.batch_policy = config.batch_policy()
         series = Figure10Series(network=name, reconstruction_seconds=stl.construction_seconds)
         for size in group_sizes:
             stream = mixed_update_stream(stl.graph, size, factor=config.update_factor, seed=config.seed)
@@ -55,6 +75,13 @@ def run_figure10(
                     stl.apply_update(update)
             series.group_sizes.append(size)
             series.maintenance_seconds.append(timer.elapsed)
+            # The batched path processes the same stream as the paper does: the
+            # increase half as one batch, then the restoring decrease half.
+            seconds, fallbacks = measure_batched_seconds(
+                stl, (stream.increases(), stream.decreases())
+            )
+            series.batched_seconds.append(seconds)
+            series.rebuild_fallbacks.append(fallbacks)
         results.append(series)
     return results
 

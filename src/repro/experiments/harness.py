@@ -20,6 +20,7 @@ from typing import Callable, Iterable, Sequence
 from repro.baselines.dtdhl import DTDHL
 from repro.baselines.hc2l import HC2L
 from repro.baselines.inch2h import IncH2H
+from repro.core.batch import BatchPolicy
 from repro.core.stl import StableTreeLabelling
 from repro.graph.graph import Graph
 from repro.graph.updates import EdgeUpdate, UpdateBatch
@@ -48,10 +49,19 @@ class ExperimentConfig:
     pairs_per_query_set: int = 60
     beta: float = 0.2
     leaf_size: int = 16
+    batch_rebuild_min_updates: int = 64
+    batch_rebuild_fraction: float | None = 0.25
 
     def hierarchy_options(self) -> HierarchyOptions:
         """Hierarchy options matching this configuration."""
         return HierarchyOptions(beta=self.beta, leaf_size=self.leaf_size)
+
+    def batch_policy(self) -> BatchPolicy:
+        """Batch-processing policy (rebuild crossover) for this configuration."""
+        return BatchPolicy(
+            rebuild_min_updates=self.batch_rebuild_min_updates,
+            rebuild_fraction=self.batch_rebuild_fraction,
+        )
 
 
 def default_dataset_names() -> list[str]:
@@ -137,3 +147,22 @@ def apply_batch_timed(index, batch: UpdateBatch) -> float:
     with timer.measure():
         index.apply_batch(batch)
     return timer.elapsed
+
+
+def measure_batched_seconds(
+    index: StableTreeLabelling, batches: Iterable[UpdateBatch]
+) -> tuple[float, int]:
+    """Total seconds applying ``batches`` via ``apply_batch``, plus fallbacks.
+
+    The second element counts how many of the batches crossed the
+    :class:`repro.core.batch.BatchPolicy` threshold and were processed as an
+    in-place rebuild instead of incremental maintenance (Figure 10's
+    crossover diagnostic).
+    """
+    timer = Timer()
+    fallbacks = 0
+    for batch in batches:
+        with timer.measure():
+            stats = index.apply_batch(batch)
+        fallbacks += stats.extra.get("rebuild_fallback", 0)
+    return timer.elapsed, fallbacks

@@ -116,6 +116,46 @@ class UpdateBatch:
         """The batch that restores every edge to its old weight (reverse order)."""
         return UpdateBatch(u.reversed() for u in reversed(self._updates))
 
+    def coalesce(self, graph: Graph) -> "UpdateBatch":
+        """Fold the batch into one *net* update per edge, in first-touch order.
+
+        Applying a batch that touches the same edge several times must leave
+        the edge at the weight of its **last** update, whatever the mix of
+        increases and decreases in between.  Grouping by kind (all increases
+        first, then all decreases) silently reorders such batches and lands on
+        the wrong final weight; coalescing is the principled alternative: per
+        edge, the whole update chain collapses to a single
+        :class:`EdgeUpdate` whose ``old_weight`` is the edge's *current*
+        weight in ``graph`` and whose ``new_weight`` is the chain's final
+        weight.  The net update's :attr:`EdgeUpdate.kind` then classifies the
+        overall effect (a NEUTRAL net update means the chain cancelled out).
+
+        The chain is validated while folding: each update's ``old_weight``
+        must match the previous update's ``new_weight`` (or the graph's
+        current weight for the first touch), mirroring the validation of
+        :meth:`EdgeUpdate.apply`.  Raises :class:`UpdateError` on mismatch.
+        """
+        pending: dict[tuple[int, int], EdgeUpdate] = {}
+        order: list[tuple[int, int]] = []
+        for update in self._updates:
+            key = (update.u, update.v) if update.u < update.v else (update.v, update.u)
+            prev = pending.get(key)
+            if prev is None:
+                expected_old = graph.weight(update.u, update.v)
+            else:
+                expected_old = prev.new_weight
+            if update.old_weight != expected_old:
+                raise UpdateError(
+                    f"edge ({update.u}, {update.v}) has weight {expected_old}, "
+                    f"update expected {update.old_weight}"
+                )
+            if prev is None:
+                order.append(key)
+                pending[key] = EdgeUpdate(update.u, update.v, expected_old, update.new_weight)
+            else:
+                pending[key] = EdgeUpdate(prev.u, prev.v, prev.old_weight, update.new_weight)
+        return UpdateBatch(pending[key] for key in order)
+
     def apply(self, graph: Graph) -> None:
         """Apply every update in order to ``graph``."""
         for update in self._updates:

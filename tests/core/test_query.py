@@ -57,6 +57,20 @@ def test_query_with_hub_returns_valid_witness(built):
         assert labels[s][hub] + labels[t][hub] == pytest.approx(distance)
 
 
+def test_negative_vertex_ids_rejected(built):
+    """Regression: Python negative indexing used to answer for vertex n+s."""
+    _, hierarchy, labels = built
+    with pytest.raises(IndexError):
+        query_distance(hierarchy, labels, -1, 5)
+    with pytest.raises(IndexError):
+        query_distance(hierarchy, labels, 5, -2)
+    with pytest.raises(IndexError):
+        query_with_hub(hierarchy, labels, -1, 5)
+    # Even the s == t early-out must not accept negative ids.
+    with pytest.raises(IndexError):
+        query_distance(hierarchy, labels, -3, -3)
+
+
 def test_batch_query(built):
     graph, hierarchy, labels = built
     pairs = [(0, 5), (1, 9), (2, 2)]

@@ -77,3 +77,39 @@ def test_infinite_entries_survive_round_trip():
     payload = serialize_labelling(stl)
     loaded = deserialize_labelling(payload, graph)
     assert loaded.labels.equals(stl.labels)
+
+
+def test_infinite_entries_survive_file_round_trip(tmp_path):
+    """inf entries must survive the full JSON file path, not just the dict."""
+    import math
+
+    graph = Graph.from_edges(6, [(i, i + 1, 1.0) for i in range(5)])
+    stl = StableTreeLabelling.build(graph, HierarchyOptions(leaf_size=2))
+    # Deleting the middle edge leaves inf entries for ancestors that became
+    # unreachable inside their own subgraph.
+    stl.remove_edge(2, 3)
+    assert any(math.isinf(d) for _, _, d in stl.labels.iter_entries())
+    path = tmp_path / "index.json"
+    save_labelling(stl, str(path))
+    loaded = load_labelling(str(path), graph)
+    assert loaded.labels.equals(stl.labels)
+    assert math.isinf(loaded.query(0, 5))
+
+
+def test_construction_seconds_survive_round_trip(stl):
+    """Regression: stats() on a loaded index used to report 0.0 construction time."""
+    assert stl.construction_seconds > 0
+    payload = serialize_labelling(stl)
+    loaded = deserialize_labelling(payload, stl.graph)
+    assert loaded.construction_seconds == stl.construction_seconds
+    assert loaded.stats().construction_seconds == stl.construction_seconds
+
+
+def test_version_1_payload_still_loads(stl):
+    """Version-1 payloads (no construction_seconds field) remain readable."""
+    payload = serialize_labelling(stl)
+    payload["format_version"] = 1
+    del payload["construction_seconds"]
+    loaded = deserialize_labelling(payload, stl.graph)
+    assert loaded.construction_seconds == 0.0
+    assert loaded.labels.equals(stl.labels)

@@ -30,6 +30,18 @@ class TestBuildAndQuery:
     def test_batch_query(self, stl):
         assert stl.batch_query([(0, 0), (0, 1)])[0] == 0.0
 
+    def test_batch_query_entry_points_agree(self, stl):
+        """The facade delegates to core.query.batch_query; both must match."""
+        from repro.core.query import batch_query
+
+        pairs = [(0, 5), (3, 17), (2, 2), (7, 40)]
+        assert stl.batch_query(pairs) == batch_query(stl.hierarchy, stl.labels, pairs)
+        assert stl.batch_query(iter(pairs)) == [stl.query(s, t) for s, t in pairs]
+
+    def test_query_rejects_negative_ids(self, stl):
+        with pytest.raises(IndexError):
+            stl.query(-1, 5)
+
     def test_query_with_hub(self, stl):
         distance, hub = stl.query_with_hub(0, stl.graph.num_vertices - 1)
         assert distance > 0

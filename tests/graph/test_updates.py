@@ -81,3 +81,62 @@ class TestUpdateBatch:
         batch.append(update)
         assert batch[0] == update
         assert batch.updates == (update,)
+
+
+class TestCoalesce:
+    def test_single_updates_pass_through(self, graph):
+        batch = UpdateBatch([EdgeUpdate(0, 1, 2.0, 5.0), EdgeUpdate(1, 2, 4.0, 1.0)])
+        net = batch.coalesce(graph)
+        assert list(net) == list(batch)
+
+    def test_chain_folds_to_net_update(self, graph):
+        batch = UpdateBatch(
+            [
+                EdgeUpdate(0, 1, 2.0, 9.0),
+                EdgeUpdate(0, 1, 9.0, 1.0),
+                EdgeUpdate(0, 1, 1.0, 7.0),
+            ]
+        )
+        net = batch.coalesce(graph)
+        assert list(net) == [EdgeUpdate(0, 1, 2.0, 7.0)]
+        assert net[0].kind is UpdateKind.INCREASE
+
+    def test_net_kind_reclassifies_mixed_chain(self, graph):
+        # An increase followed by a larger decrease nets to a DECREASE.
+        batch = UpdateBatch([EdgeUpdate(1, 2, 4.0, 10.0), EdgeUpdate(1, 2, 10.0, 3.0)])
+        net = batch.coalesce(graph)
+        assert list(net) == [EdgeUpdate(1, 2, 4.0, 3.0)]
+        assert net[0].kind is UpdateKind.DECREASE
+
+    def test_cancelling_chain_nets_to_neutral(self, graph):
+        batch = UpdateBatch([EdgeUpdate(2, 3, 6.0, 12.0), EdgeUpdate(2, 3, 12.0, 6.0)])
+        net = batch.coalesce(graph)
+        assert len(net) == 1
+        assert net[0].kind is UpdateKind.NEUTRAL
+
+    def test_first_touch_order_and_orientation_insensitivity(self, graph):
+        # (1, 0) and (0, 1) are the same undirected edge; first touch wins
+        # the output slot.
+        batch = UpdateBatch(
+            [
+                EdgeUpdate(2, 3, 6.0, 8.0),
+                EdgeUpdate(1, 0, 2.0, 5.0),
+                EdgeUpdate(0, 1, 5.0, 3.0),
+            ]
+        )
+        net = batch.coalesce(graph)
+        assert [(u.u, u.v) for u in net] == [(2, 3), (1, 0)]
+        assert net[1].new_weight == 3.0
+
+    def test_first_old_weight_validated_against_graph(self, graph):
+        batch = UpdateBatch([EdgeUpdate(0, 1, 3.0, 5.0)])
+        with pytest.raises(UpdateError):
+            batch.coalesce(graph)
+
+    def test_broken_chain_rejected(self, graph):
+        batch = UpdateBatch([EdgeUpdate(0, 1, 2.0, 5.0), EdgeUpdate(0, 1, 4.0, 6.0)])
+        with pytest.raises(UpdateError):
+            batch.coalesce(graph)
+
+    def test_empty_batch(self, graph):
+        assert len(UpdateBatch().coalesce(graph)) == 0
