@@ -1,0 +1,48 @@
+"""Verify that relative markdown links in README.md and docs/ resolve.
+
+Used by the CI docs job; run locally with ``python docs/check_links.py``.
+Only repo-relative links are checked (external ``http(s)`` URLs are skipped:
+CI must not fail on third-party outages).  Anchors are stripped before the
+existence check.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check(repo_root: Path) -> list[str]:
+    """Return one problem string per broken link."""
+    problems: list[str] = []
+    sources = [repo_root / "README.md", *sorted((repo_root / "docs").glob("*.md"))]
+    for source in sources:
+        if not source.exists():
+            problems.append(f"{source}: missing documentation file")
+            continue
+        for target in LINK.findall(source.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue  # pure in-page anchor
+            resolved = (source.parent / path).resolve()
+            if not resolved.exists():
+                problems.append(f"{source.relative_to(repo_root)}: broken link -> {target}")
+    return problems
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    problems = check(repo_root)
+    for problem in problems:
+        print(problem)
+    print(f"checked README.md + docs/: {len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ from repro.graph.graph import Graph
 from repro.graph.updates import EdgeUpdate, UpdateBatch
 from repro.graph import generators
 from repro.core.batch import BatchPolicy
+from repro.core.shard import ShardPlanner
 from repro.core.stl import StableTreeLabelling
 from repro.hierarchy.builder import HierarchyOptions
 
@@ -43,6 +44,7 @@ __all__ = [
     "generators",
     "StableTreeLabelling",
     "BatchPolicy",
+    "ShardPlanner",
     "HierarchyOptions",
     "__version__",
 ]

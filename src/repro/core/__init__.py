@@ -3,6 +3,7 @@
 from repro.core.batch import BatchedParetoEngine, BatchPolicy
 from repro.core.labelling import STLLabels, build_labels
 from repro.core.query import query_distance
+from repro.core.shard import ShardedBatchEngine, ShardPlan, ShardPlanner
 from repro.core.stl import StableTreeLabelling
 from repro.core.label_search import LabelSearchDecrease, LabelSearchIncrease
 from repro.core.pareto_search import ParetoSearchDecrease, ParetoSearchIncrease
@@ -13,6 +14,9 @@ __all__ = [
     "STLLabels",
     "build_labels",
     "query_distance",
+    "ShardedBatchEngine",
+    "ShardPlan",
+    "ShardPlanner",
     "StableTreeLabelling",
     "LabelSearchDecrease",
     "LabelSearchIncrease",

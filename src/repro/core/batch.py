@@ -36,10 +36,20 @@ entry with ``d(v .. x -> y) + L(y)[i]``, and ``L(y)[i]`` never exceeds the
 suffix length (the suffix is old-valid) nor undershoots the true new
 distance.  Tests verify both passes entry-wise against from-scratch rebuilds.
 
-:class:`BatchPolicy` additionally decides when maintaining is no longer worth
-it: past a configurable fraction of affected edges a from-scratch label
-rebuild (the Figure 10 baseline) is cheaper, and
-:meth:`repro.core.stl.StableTreeLabelling.apply_batch` falls back to it.
+:class:`BatchPolicy` additionally decides *which* processing strategy a batch
+deserves.  It is a three-way crossover (plus the rebuild fallback):
+
+* tiny batches run through the historical **per-update loop** -- the batch
+  machinery has fixed costs that one or two updates never amortise,
+* moderate batches run through the shared-phase **batched** engine above,
+* large batches whose updates spread across the partition regions of
+  :class:`repro.core.shard.ShardPlanner` run through the **sharded-parallel**
+  :class:`repro.core.shard.ShardedBatchEngine`,
+* and past a configurable fraction of affected edges a from-scratch label
+  **rebuild** (the Figure 10 baseline) is cheaper than any maintenance.
+
+:meth:`repro.core.stl.StableTreeLabelling.apply_batch` consults the policy
+and dispatches accordingly.
 """
 
 from __future__ import annotations
@@ -62,6 +72,21 @@ from repro.utils.errors import UpdateError
 class BatchPolicy:
     """Knobs governing how a batch of updates is processed.
 
+    The policy implements a three-way crossover keyed on the *net* (coalesced)
+    batch size, refined by the shard balance of the planned partition:
+
+    ========================  =====================================
+    net batch size            strategy
+    ========================  =====================================
+    ``< batched_min_updates``  per-update loop (``apply_update``)
+    moderate                   shared-phase :class:`BatchedParetoEngine`
+    ``>= parallel_min_updates``  sharded worker pool, *if* the shard plan
+                               keeps at least ``parallel_min_balance`` of
+                               the updates out of the residual shard
+    ========================  =====================================
+
+    with the pre-existing rebuild fallback taking precedence over all three.
+
     Attributes
     ----------
     rebuild_min_updates:
@@ -71,10 +96,30 @@ class BatchPolicy:
         Fall back to a from-scratch label rebuild when the number of net
         (coalesced) updates exceeds this fraction of the graph's edges.
         ``None`` disables the fallback entirely (the engine always runs).
+    batched_min_updates:
+        Below this many net updates the batch machinery (precondition scan,
+        kind partition, merged phases) costs more than it shares; the batch
+        is processed through the plain per-update loop instead.
+    parallel_min_updates:
+        From this many net updates onward the sharded-parallel engine is
+        *considered*: a shard plan is computed and used when it is balanced
+        enough (see ``parallel_min_balance``).  ``None`` disables the
+        sharded path from the policy side (``parallel=True`` still forces it).
+    parallel_min_balance:
+        Minimum fraction of the net updates that must land in per-region
+        shard sub-batches (rather than the serial residual shard) for the
+        sharded engine to be worth its pool/merge overhead.
+    max_workers:
+        Worker-pool size for the sharded engine; ``None`` lets the engine
+        size the pool to ``min(#shards, os.cpu_count())``.
     """
 
     rebuild_min_updates: int = 64
     rebuild_fraction: float | None = 0.25
+    batched_min_updates: int = 3
+    parallel_min_updates: int | None = 192
+    parallel_min_balance: float = 0.5
+    max_workers: int | None = None
 
     def should_rebuild(self, num_net_updates: int, num_edges: int) -> bool:
         """Whether a batch of ``num_net_updates`` warrants a full rebuild."""
@@ -83,6 +128,143 @@ class BatchPolicy:
         if num_net_updates < self.rebuild_min_updates:
             return False
         return num_net_updates > self.rebuild_fraction * max(1, num_edges)
+
+    def should_loop(self, num_net_updates: int) -> bool:
+        """Whether the batch is too small for the batch machinery."""
+        return num_net_updates < self.batched_min_updates
+
+    def should_shard(self, num_net_updates: int) -> bool:
+        """Whether the batch is large enough to consider the sharded engine."""
+        if self.parallel_min_updates is None:
+            return False
+        return num_net_updates >= self.parallel_min_updates
+
+    def accepts_plan(self, populated_shards: int, balance: float) -> bool:
+        """Whether a computed shard plan is balanced enough to run.
+
+        ``populated_shards`` is the number of non-empty per-region
+        sub-batches and ``balance`` the fraction of net updates they hold
+        (the rest goes to the serial residual shard).
+        """
+        return populated_shards >= 2 and balance >= self.parallel_min_balance
+
+
+def validate_coalesced(graph: Graph, updates: Sequence[EdgeUpdate]) -> None:
+    """Enforce the coalesced-batch precondition shared by the batch engines.
+
+    Raises :class:`UpdateError` if an edge appears more than once (the
+    kind-partitioned processing would silently reorder such a chain -- the
+    very corruption coalescing exists to fix) or if an update's
+    ``old_weight`` does not match the live graph (a stale ``old_weight``
+    mis-scopes the mark phase and mis-classifies the net kind, again
+    silently).  :meth:`repro.graph.updates.UpdateBatch.coalesce` establishes
+    both preconditions.
+    """
+    seen: set[tuple[int, int]] = set()
+    for update in updates:
+        key = (update.u, update.v) if update.u < update.v else (update.v, update.u)
+        if key in seen:
+            raise UpdateError(
+                f"a coalesced batch is required, but edge ({update.u}, "
+                f"{update.v}) appears more than once; fold the batch with "
+                f"UpdateBatch.coalesce first"
+            )
+        seen.add(key)
+        current = graph.weight(update.u, update.v)
+        if current != update.old_weight:
+            raise UpdateError(
+                f"edge ({update.u}, {update.v}) has weight {current}, "
+                f"update expected {update.old_weight}"
+            )
+
+
+def shared_frontier_decrease(
+    graph: Graph,
+    hierarchy: StableTreeHierarchy,
+    labels: STLLabels,
+    decreases: Sequence[EdgeUpdate],
+    apply_weights: bool = True,
+) -> MaintenanceStats:
+    """All decrease endpoint searches on one shared frontier.
+
+    This is the decrease half of :class:`BatchedParetoEngine`, exposed as a
+    function so the sharded engine (:mod:`repro.core.shard`) can reuse it.
+    ``apply_weights=False`` skips the weight application for callers that
+    already put the new weights in place.
+
+    Correctness requires the **pre-decrease label state**: the decomposition
+    argument in the module docstring leans on every still-unrepaired entry
+    being realised by an old-valid path.  The pass is *not* exact from
+    half-repaired intermediate states -- propagation is improvement-gated
+    (no push without a label improvement), so an entry left stale behind
+    already-exact neighbours is never reached.  Callers must therefore run
+    this exactly once per batch of decreases, on labels that are exact for
+    the pre-decrease graph.
+    """
+    stats = MaintenanceStats()
+    tau = hierarchy.tau
+
+    if apply_weights:
+        for update in decreases:
+            graph.set_weight(update.u, update.v, update.new_weight)
+    adjacency = graph.adjacency()
+
+    # One search context per (root, start) endpoint pair; all contexts
+    # share a single frontier heap.  Heap entries carry the context id so
+    # each pop relaxes against its own root label and level() map, while
+    # repairs written by one context prune the candidates of the others.
+    root_labels: list[list[float]] = []
+    level_maps: list[dict[int, int]] = []
+    heap: list[tuple[float, int, int, int, int]] = []
+    for update in decreases:
+        a, b = _orient(update, tau)
+        phi = update.new_weight
+        rmin = min(tau[a], tau[b])
+        for root, start in ((a, b), (b, a)):
+            ctx = len(root_labels)
+            root_labels.append(labels[root])
+            level_maps.append({})
+            heappush(heap, (phi, 0, ctx, start, rmin))
+            stats.heap_pushes += 1
+
+    # Same interval-search body as ParetoSearchDecrease._search_and_repair,
+    # with the per-context state looked up per pop.  Per-context pops
+    # still arrive in nondecreasing distance order (a subsequence of a
+    # globally distance-ordered heap), which keeps the level(v) pruning
+    # safe.
+    while heap:
+        d, active_min, ctx, v, active_max = heappop(heap)
+        level = level_maps[ctx]
+        active_max = min(active_max, tau[v])
+        active_min = max(active_min, level.get(v, 0))
+        if active_min > active_max:
+            continue
+        level[v] = active_max + 1
+        stats.vertices_affected += 1
+
+        label_root = root_labels[ctx]
+        label_v = labels[v]
+        new_min = -1
+        new_max = -1
+        for i in range(active_min, active_max + 1):
+            root_dist = label_root[i]
+            if math.isinf(root_dist):
+                continue
+            candidate = d + root_dist
+            if candidate < label_v[i]:
+                label_v[i] = candidate
+                stats.labels_changed += 1
+                if new_min == -1:
+                    new_min = i
+                new_max = i
+
+        if new_min != -1:
+            for nbr, weight in adjacency[v]:
+                if math.isinf(weight) or tau[nbr] < new_min:
+                    continue
+                heappush(heap, (d + weight, new_min, ctx, nbr, new_max))
+                stats.heap_pushes += 1
+    return stats
 
 
 class BatchedParetoEngine:
@@ -113,22 +295,7 @@ class BatchedParetoEngine:
         kind, again silently).  ``UpdateBatch.coalesce`` establishes both
         preconditions.
         """
-        seen: set[tuple[int, int]] = set()
-        for update in updates:
-            key = (update.u, update.v) if update.u < update.v else (update.v, update.u)
-            if key in seen:
-                raise UpdateError(
-                    f"BatchedParetoEngine.apply requires a coalesced batch, but "
-                    f"edge ({update.u}, {update.v}) appears more than once; "
-                    f"fold the batch with UpdateBatch.coalesce first"
-                )
-            seen.add(key)
-            current = self.graph.weight(update.u, update.v)
-            if current != update.old_weight:
-                raise UpdateError(
-                    f"edge ({update.u}, {update.v}) has weight {current}, "
-                    f"update expected {update.old_weight}"
-                )
+        validate_coalesced(self.graph, updates)
         increases = [u for u in updates if u.kind is UpdateKind.INCREASE]
         decreases = [u for u in updates if u.kind is UpdateKind.DECREASE]
         stats = MaintenanceStats(updates_processed=len(updates))
@@ -173,68 +340,6 @@ class BatchedParetoEngine:
     # ------------------------------------------------------------------ #
 
     def _apply_decreases(self, decreases: Sequence[EdgeUpdate]) -> MaintenanceStats:
-        stats = MaintenanceStats()
-        tau = self.hierarchy.tau
-        labels = self.labels
-        graph = self.graph
-
-        for update in decreases:
-            graph.set_weight(update.u, update.v, update.new_weight)
-        adjacency = graph.adjacency()
-
-        # One search context per (root, start) endpoint pair; all contexts
-        # share a single frontier heap.  Heap entries carry the context id so
-        # each pop relaxes against its own root label and level() map, while
-        # repairs written by one context prune the candidates of the others.
-        root_labels: list[list[float]] = []
-        level_maps: list[dict[int, int]] = []
-        heap: list[tuple[float, int, int, int, int]] = []
-        for update in decreases:
-            a, b = _orient(update, tau)
-            phi = update.new_weight
-            rmin = min(tau[a], tau[b])
-            for root, start in ((a, b), (b, a)):
-                ctx = len(root_labels)
-                root_labels.append(labels[root])
-                level_maps.append({})
-                heappush(heap, (phi, 0, ctx, start, rmin))
-                stats.heap_pushes += 1
-
-        # Same interval-search body as ParetoSearchDecrease._search_and_repair,
-        # with the per-context state looked up per pop.  Per-context pops
-        # still arrive in nondecreasing distance order (a subsequence of a
-        # globally distance-ordered heap), which keeps the level(v) pruning
-        # safe.
-        while heap:
-            d, active_min, ctx, v, active_max = heappop(heap)
-            level = level_maps[ctx]
-            active_max = min(active_max, tau[v])
-            active_min = max(active_min, level.get(v, 0))
-            if active_min > active_max:
-                continue
-            level[v] = active_max + 1
-            stats.vertices_affected += 1
-
-            label_root = root_labels[ctx]
-            label_v = labels[v]
-            new_min = -1
-            new_max = -1
-            for i in range(active_min, active_max + 1):
-                root_dist = label_root[i]
-                if math.isinf(root_dist):
-                    continue
-                candidate = d + root_dist
-                if candidate < label_v[i]:
-                    label_v[i] = candidate
-                    stats.labels_changed += 1
-                    if new_min == -1:
-                        new_min = i
-                    new_max = i
-
-            if new_min != -1:
-                for nbr, weight in adjacency[v]:
-                    if math.isinf(weight) or tau[nbr] < new_min:
-                        continue
-                    heappush(heap, (d + weight, new_min, ctx, nbr, new_max))
-                    stats.heap_pushes += 1
-        return stats
+        return shared_frontier_decrease(
+            self.graph, self.hierarchy, self.labels, decreases
+        )

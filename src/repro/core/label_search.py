@@ -39,6 +39,24 @@ from repro.utils.errors import UpdateError
 
 UNREACHABLE = math.inf
 
+#: Relative slack for the mark phases' "does this old shortest path run
+#: through the updated edge" test (Algorithm 2 line 5 / Algorithm 4 line 17).
+#: Exact float equality only survives while every label entry is
+#: bitwise-identical to the left-to-right relaxation sum that built it;
+#: Pareto decrease repairs write entries as ``(endpoint path length) +
+#: (root label)`` -- a different association of the same real sum -- so after
+#: the first decrease an exact test silently misses affected entries and
+#: leaves them unrepaired, off by the full delta rather than an ulp.
+#: Over-marking, by contrast, is safe: every marked entry is re-derived by
+#: the respective repair phase, so the slack trades a sliver of extra repair
+#: work for robustness on any label state.
+MARK_SLACK = 1e-9
+
+
+def on_old_shortest_path(candidate: float, entry: float) -> bool:
+    """Whether ``candidate`` realises ``entry`` up to float re-association."""
+    return abs(candidate - entry) <= MARK_SLACK * max(1.0, entry)
+
 
 @dataclass
 class MaintenanceStats:
@@ -185,11 +203,15 @@ class LabelSearchIncrease(_LabelSearchBase):
             label_b = labels[b]
             for i in range(tau[a] + 1):
                 da, db = label_a[i], label_b[i]
-                if not math.isinf(da) and da + w_old == db:
+                # The through-the-edge tests tolerate float re-association
+                # (see repro.core.pareto_search.on_old_shortest_path):
+                # over-marking only costs repair work, under-marking loses
+                # the whole delta.
+                if not math.isinf(da) and not math.isinf(db) and on_old_shortest_path(da + w_old, db):
                     queues.setdefault(i, [])
                     heappush(queues[i], (da + w_old, b))
                     stats.heap_pushes += 1
-                elif not math.isinf(db) and db + w_old == da:
+                elif not math.isinf(db) and not math.isinf(da) and on_old_shortest_path(db + w_old, da):
                     queues.setdefault(i, [])
                     heappush(queues[i], (db + w_old, a))
                     stats.heap_pushes += 1
@@ -209,7 +231,8 @@ class LabelSearchIncrease(_LabelSearchBase):
                         tau[nbr] > i
                         and not math.isinf(weight)
                         and nbr not in affected
-                        and d + weight == labels[nbr][i]
+                        and not math.isinf(labels[nbr][i])
+                        and on_old_shortest_path(d + weight, labels[nbr][i])
                     ):
                         heappush(heap, (d + weight, nbr))
                         stats.heap_pushes += 1

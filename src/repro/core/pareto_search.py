@@ -33,7 +33,12 @@ import math
 from heapq import heappop, heappush
 from typing import Iterable
 
-from repro.core.label_search import MaintenanceStats, _LabelSearchBase, _orient
+from repro.core.label_search import (
+    MaintenanceStats,
+    _LabelSearchBase,
+    _orient,
+    on_old_shortest_path,
+)
 from repro.graph.updates import EdgeUpdate, UpdateKind
 from repro.utils.errors import UpdateError
 
@@ -219,7 +224,7 @@ class ParetoSearchIncrease(_ParetoSearchBase):
                 root_dist = label_root[i]
                 if math.isinf(root_dist) or math.isinf(label_v[i]):
                     continue
-                if d + root_dist == label_v[i]:
+                if on_old_shortest_path(d + root_dist, label_v[i]):
                     hit_levels.append(i)
                     if new_min == -1:
                         new_min = i

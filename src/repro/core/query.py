@@ -23,7 +23,23 @@ def query_distance(
     s: int,
     t: int,
 ) -> float:
-    """Shortest-path distance between ``s`` and ``t`` (``inf`` if disconnected)."""
+    """Shortest-path distance between ``s`` and ``t`` (``inf`` if disconnected).
+
+    The usual entry point is :meth:`repro.core.stl.StableTreeLabelling.query`,
+    which delegates here:
+
+    >>> from repro import StableTreeLabelling, generators
+    >>> graph = generators.grid_road_network(4, 4, seed=7)
+    >>> stl = StableTreeLabelling.build(graph)
+    >>> stl.query(0, 0)
+    0.0
+    >>> stl.query(0, 5) == stl.query(5, 0)  # symmetric
+    True
+    >>> stl.query(-1, 5)
+    Traceback (most recent call last):
+        ...
+    IndexError: vertex ids must be non-negative, got (-1, 5)
+    """
     if s < 0 or t < 0:
         # Without this guard Python's negative indexing would silently answer
         # for vertex n+s; too-large ids already raise from the lookups below.
@@ -75,5 +91,12 @@ def batch_query(
     labels: STLLabels,
     pairs: list[tuple[int, int]],
 ) -> list[float]:
-    """Answer a batch of queries (used by the benchmark harness)."""
+    """Answer a batch of queries (used by the benchmark harness).
+
+    >>> from repro import StableTreeLabelling, generators
+    >>> graph = generators.grid_road_network(4, 4, seed=7)
+    >>> stl = StableTreeLabelling.build(graph)
+    >>> batch_query(stl.hierarchy, stl.labels, [(0, 0), (3, 3)])
+    [0.0, 0.0]
+    """
     return [query_distance(hierarchy, labels, s, t) for s, t in pairs]

@@ -1,0 +1,422 @@
+"""Sharded parallel batch maintenance: partition-aware planning + worker pool.
+
+:mod:`repro.core.batch` processes a coalesced batch through *shared* mark /
+repair phases, but still as one single-threaded pass.  This module splits
+that pass along the same structural seams the stable tree hierarchy itself is
+built from -- balanced vertex separators (:mod:`repro.partition`):
+
+* :class:`ShardPlanner` bisects the graph's vertex set (recursively, with a
+  :class:`repro.partition.bisection.Bisector`) into ``num_shards`` disjoint
+  *regions* plus the accumulated separator vertices.  A coalesced batch is
+  then split into per-region sub-batches -- an update goes to region ``k``
+  when **both** endpoints lie strictly inside region ``k`` -- and a
+  *residual* sub-batch holding every separator-touching or region-crossing
+  update.  Because :meth:`repro.graph.updates.UpdateBatch.coalesce`
+  preserves first-seen edge order and regions are computed once from the
+  weight-independent topology, planning is deterministic.
+* :class:`ShardedBatchEngine` fans the per-region sub-batches' *read-only*
+  work out to a :class:`concurrent.futures.ThreadPoolExecutor`, runs every
+  label-writing phase serially, and applies the residual sub-batch serially
+  last.
+
+**Equivalence guarantee.**  The engine produces labels entry-wise equal to
+what the single-threaded :class:`repro.core.batch.BatchedParetoEngine` (and a
+from-scratch rebuild) produces, by construction rather than by scheduling
+luck -- concurrency is only ever applied to phases that cannot race:
+
+* *Increases* -- the per-update mark phase is read-only on the graph and the
+  labels, so the shards' mark searches run concurrently without any
+  synchronisation.  The per-update ``(delta, marks)`` results are then merged
+  **in the original coalesced batch order** -- reproducing the serial
+  engine's bump accumulation float-for-float -- and a single serial combined
+  bump-and-repair (Algorithm 5) finishes exactly as the serial engine would.
+* *Decreases* -- one serial shared-frontier pass over all shard decreases,
+  identical to the serial engine's decrease half.  Concurrent in-place
+  decrease repairs are deliberately **not** attempted: the shared frontier's
+  correctness proof starts from the pre-decrease label state (every
+  still-unrepaired entry realised by an old-valid path), and from a
+  half-repaired state an entry can be stranded behind already-exact
+  neighbours -- propagation is improvement-gated, so no later pass would
+  reach it (see :meth:`ShardedBatchEngine._apply_decreases`).
+* *Residual* -- the region-crossing updates run through the serial
+  :class:`BatchedParetoEngine` last, on labels that are exact for the
+  mid-batch graph; serial composition of exact engines is exact.
+
+A note on parallelism in CPython: the worker pool provides *concurrency*,
+not bytecode-level parallelism, under the GIL, and only the read-only mark
+fan-out uses it.  The design's durable value is the plan itself: per-shard
+search frontiers only interact through the separator, so a process-pool
+backend with partitioned label ownership (the ROADMAP's next step) can run
+whole shard sub-batches in true parallel without changing the planner or
+the policy.  The engine reports plan quality (``shards``,
+``sharded_updates``, ``residual_updates``) so policies can refuse unbalanced
+plans.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.batch import (
+    BatchedParetoEngine,
+    BatchPolicy,
+    shared_frontier_decrease,
+    validate_coalesced,
+)
+from repro.core.label_search import MaintenanceStats, _orient
+from repro.core.labelling import STLLabels
+from repro.core.pareto_search import ParetoSearchIncrease
+from repro.graph.graph import Graph
+from repro.graph.updates import EdgeUpdate, UpdateBatch, UpdateKind
+from repro.hierarchy.tree import StableTreeHierarchy
+from repro.partition.bisection import Bisector, HybridBisector
+
+
+def default_num_shards() -> int:
+    """Default shard count: one per core, clamped to a useful range."""
+    return max(2, min(8, os.cpu_count() or 2))
+
+
+@dataclass
+class ShardPlan:
+    """A coalesced batch split into per-region sub-batches plus a residual.
+
+    Attributes
+    ----------
+    shards:
+        One :class:`UpdateBatch` per planner region (index-aligned with
+        :attr:`regions`); possibly empty.  Updates keep their first-seen
+        coalesced order within each shard.
+    residual:
+        The sub-batch of separator-touching and region-crossing updates,
+        applied serially after the shards.
+    regions:
+        The planner's disjoint vertex regions.
+    separator:
+        The accumulated separator vertices (in no region).
+    """
+
+    shards: list[UpdateBatch]
+    residual: UpdateBatch
+    regions: list[list[int]] = field(default_factory=list)
+    separator: list[int] = field(default_factory=list)
+
+    @property
+    def num_updates(self) -> int:
+        """Total number of planned (net) updates, residual included."""
+        return sum(len(s) for s in self.shards) + len(self.residual)
+
+    @property
+    def sharded_updates(self) -> int:
+        """Number of updates that landed in per-region shards."""
+        return sum(len(s) for s in self.shards)
+
+    @property
+    def populated_shards(self) -> int:
+        """Number of non-empty per-region sub-batches."""
+        return sum(1 for s in self.shards if len(s))
+
+    @property
+    def balance(self) -> float:
+        """Fraction of the net updates that avoid the serial residual shard.
+
+        This is the "shard balance" the :class:`repro.core.batch.BatchPolicy`
+        crossover keys on: a plan where most updates cross the separator
+        degenerates into the serial engine plus overhead.
+        """
+        total = self.num_updates
+        if total == 0:
+            return 0.0
+        return self.sharded_updates / total
+
+    def worth_running(self, policy: BatchPolicy) -> bool:
+        """Whether this plan clears the policy's balance bar."""
+        return policy.accepts_plan(self.populated_shards, self.balance)
+
+
+class ShardPlanner:
+    """Partition-aware splitter of coalesced batches into shard sub-batches.
+
+    The planner bisects the graph's vertex set with a
+    :class:`repro.partition.bisection.Bisector` (default
+    :class:`~repro.partition.bisection.HybridBisector`, the same family the
+    hierarchy builder uses), recursively splitting the largest region until
+    ``num_shards`` regions exist.  Separator vertices collect into a shared
+    residual set.  Regions depend only on the graph *topology*, which edge
+    weight updates never change, so they are computed once and reused for
+    every batch.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_shards: int | None = None,
+        bisector: Bisector | None = None,
+    ):
+        if num_shards is not None and num_shards < 2:
+            raise ValueError(f"num_shards must be at least 2, got {num_shards}")
+        self.graph = graph
+        self.num_shards = num_shards or default_num_shards()
+        self.bisector = bisector or HybridBisector()
+        self._region_of: list[int] | None = None
+        self._regions: list[list[int]] | None = None
+        self._separator: list[int] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Region computation (lazy, topology-only, cached)
+    # ------------------------------------------------------------------ #
+
+    def regions(self) -> tuple[list[list[int]], list[int]]:
+        """The planner's disjoint vertex regions and the separator set."""
+        if self._regions is None:
+            self._compute_regions()
+        assert self._regions is not None and self._separator is not None
+        return self._regions, self._separator
+
+    def _compute_regions(self) -> None:
+        graph = self.graph
+        separator: list[int] = []
+        # (splittable, region) work list; repeatedly bisect the largest
+        # still-splittable region until the target count is reached.
+        regions: list[tuple[bool, list[int]]] = [
+            (True, list(range(graph.num_vertices)))
+        ]
+        while len(regions) < self.num_shards and any(s for s, _ in regions):
+            regions.sort(key=lambda item: (item[0], len(item[1])))
+            splittable, region = regions.pop()
+            if not splittable or len(region) < 2:
+                regions.append((False, region))
+                break
+            bisection = self.bisector.bisect(graph, region)
+            separator.extend(bisection.separator)
+            halves = [h for h in (bisection.left, bisection.right) if h]
+            if len(halves) < 2:
+                # The region would not split (e.g. a clique fully absorbed
+                # into the separator); keep what remains as unsplittable.
+                regions.extend((False, h) for h in halves)
+                continue
+            regions.extend((True, h) for h in halves)
+        self._regions = [sorted(region) for _, region in regions if region]
+        self._separator = sorted(separator)
+        region_of = [-1] * graph.num_vertices
+        for rid, region in enumerate(self._regions):
+            for v in region:
+                region_of[v] = rid
+        self._region_of = region_of
+
+    # ------------------------------------------------------------------ #
+    # Batch splitting
+    # ------------------------------------------------------------------ #
+
+    def plan(self, batch: Sequence[EdgeUpdate] | UpdateBatch) -> ShardPlan:
+        """Split a coalesced batch into per-region sub-batches + residual.
+
+        An update is *internal* to region ``k`` when both endpoints have
+        ``region_of == k`` (separator vertices have no region); every other
+        update -- separator-touching or region-crossing -- lands in the
+        residual.  Iteration order is the batch's own order, so sub-batches
+        inherit the deterministic first-seen ordering of
+        :meth:`repro.graph.updates.UpdateBatch.coalesce`.
+        """
+        regions, separator = self.regions()
+        region_of = self._region_of
+        assert region_of is not None
+        shards = [UpdateBatch() for _ in regions]
+        residual = UpdateBatch()
+        for update in batch:
+            ru = region_of[update.u]
+            rv = region_of[update.v]
+            if ru != -1 and ru == rv:
+                shards[ru].append(update)
+            else:
+                residual.append(update)
+        return ShardPlan(
+            shards=shards, residual=residual, regions=regions, separator=separator
+        )
+
+
+class ShardedBatchEngine:
+    """Worker-pool batch maintenance over a shard plan.
+
+    See the module docstring for the phase structure and the equivalence
+    argument.  The engine degrades gracefully: a plan with fewer than two
+    populated shards (e.g. a batch that is 100% separator-crossing) is
+    handed wholesale to the serial :class:`BatchedParetoEngine`.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        hierarchy: StableTreeHierarchy,
+        labels: STLLabels,
+        planner: ShardPlanner | None = None,
+        max_workers: int | None = None,
+    ):
+        self.graph = graph
+        self.hierarchy = hierarchy
+        self.labels = labels
+        self.planner = planner or ShardPlanner(graph)
+        self.max_workers = max_workers
+        self._serial = BatchedParetoEngine(graph, hierarchy, labels)
+        self._increase = ParetoSearchIncrease(graph, hierarchy, labels)
+
+    def apply(
+        self,
+        updates: Sequence[EdgeUpdate],
+        plan: ShardPlan | None = None,
+        max_workers: int | None = None,
+    ) -> MaintenanceStats:
+        """Apply one coalesced batch through the sharded phases.
+
+        ``plan`` may be supplied when the caller already planned the batch
+        (as :meth:`repro.core.stl.StableTreeLabelling.apply_batch` does to
+        evaluate the balance crossover); otherwise :attr:`planner` plans it.
+        Raises :class:`repro.utils.errors.UpdateError` on non-coalesced input
+        (same precondition as the serial engine).
+        """
+        validate_coalesced(self.graph, updates)
+        if plan is None:
+            plan = self.planner.plan(updates)
+        stats = MaintenanceStats(updates_processed=len(updates))
+        stats.extra["shards"] = plan.populated_shards
+        stats.extra["sharded_updates"] = plan.sharded_updates
+        stats.extra["residual_updates"] = len(plan.residual)
+
+        if plan.populated_shards < 2:
+            # Degenerate plan (everything separator-crossing, or a single
+            # populated region): the pool cannot help, run serially.
+            serial_stats = self._serial.apply(updates)
+            serial_stats.updates_processed = 0  # already counted above
+            stats.merge(serial_stats)
+            return stats
+
+        shard_increases = [
+            [u for u in shard if u.kind is UpdateKind.INCREASE] for shard in plan.shards
+        ]
+        shard_decreases = [
+            [u for u in shard if u.kind is UpdateKind.DECREASE] for shard in plan.shards
+        ]
+        workers = max_workers or self.max_workers or min(
+            plan.populated_shards, os.cpu_count() or 1
+        )
+        # The original coalesced order of the sharded increases; merging the
+        # concurrent mark results in this order reproduces the serial
+        # engine's bump accumulation float-for-float.
+        sharded_edges = {
+            (u.u, u.v) if u.u < u.v else (u.v, u.u)
+            for shard in plan.shards
+            for u in shard
+        }
+        increase_order = [
+            u
+            for u in updates
+            if u.kind is UpdateKind.INCREASE
+            and ((u.u, u.v) if u.u < u.v else (u.v, u.u)) in sharded_edges
+        ]
+        if any(shard_increases):
+            with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
+                stats.merge(
+                    self._apply_increases(pool, shard_increases, increase_order)
+                )
+        if any(shard_decreases):
+            stats.merge(self._apply_decreases(shard_decreases))
+        if len(plan.residual):
+            residual_stats = self._serial.apply(plan.residual.updates)
+            residual_stats.updates_processed = 0  # already counted above
+            stats.merge(residual_stats)
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Increases: concurrent read-only marks, ordered merge, serial repair
+    # ------------------------------------------------------------------ #
+
+    def _mark_shard(
+        self, increases: Sequence[EdgeUpdate], stats: MaintenanceStats
+    ) -> dict[tuple[int, int], dict[int, set[int]]]:
+        """Worker body: mark phases for one shard's increases (read-only).
+
+        Runs on the unmodified graph and labels, so any number of these can
+        run concurrently; ``stats`` is this worker's private counter object.
+        Returns per-edge marks so the caller can merge them in the original
+        batch order.
+        """
+        tau = self.hierarchy.tau
+        results: dict[tuple[int, int], dict[int, set[int]]] = {}
+        for update in increases:
+            a, b = _orient(update, tau)
+            marks: dict[int, set[int]] = {}
+            stats.merge(self._increase.mark_affected(a, b, update.old_weight, marks))
+            stats.merge(self._increase.mark_affected(b, a, update.old_weight, marks))
+            key = (update.u, update.v) if update.u < update.v else (update.v, update.u)
+            results[key] = marks
+        return results
+
+    def _apply_increases(
+        self,
+        pool: ThreadPoolExecutor,
+        shard_increases: list[list[EdgeUpdate]],
+        increase_order: list[EdgeUpdate],
+    ) -> MaintenanceStats:
+        stats = MaintenanceStats()
+        per_shard_stats = [MaintenanceStats() for _ in shard_increases]
+        futures = [
+            pool.submit(self._mark_shard, incs, per_shard_stats[k])
+            for k, incs in enumerate(shard_increases)
+            if incs
+        ]
+        marks_by_edge: dict[tuple[int, int], dict[int, set[int]]] = {}
+        for future in futures:
+            marks_by_edge.update(future.result())
+        for local in per_shard_stats:
+            stats.merge(local)
+
+        # Merge the per-update marks into one bump map *in the original batch
+        # order*, reproducing BatchedParetoEngine._apply_increases exactly
+        # (same accumulation order means bit-identical bump floats).
+        affected: dict[int, dict[int, float]] = {}
+        for update in increase_order:
+            key = (update.u, update.v) if update.u < update.v else (update.v, update.u)
+            delta = update.new_weight - update.old_weight
+            for v, levels in marks_by_edge[key].items():
+                row = affected.setdefault(v, {})
+                for i in levels:
+                    row[i] = row.get(i, 0.0) + delta
+        stats.vertices_affected += len(affected)
+
+        for update in increase_order:
+            self.graph.set_weight(update.u, update.v, update.new_weight)
+        if affected:
+            stats.merge(self._increase.bump_and_repair(affected))
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Decreases: one serial shared frontier (deliberately not pooled)
+    # ------------------------------------------------------------------ #
+
+    def _apply_decreases(
+        self, shard_decreases: list[list[EdgeUpdate]]
+    ) -> MaintenanceStats:
+        """One serial shared-frontier pass over all shard decreases.
+
+        Deliberately *not* fanned out to the pool.  An earlier design ran
+        per-shard frontiers concurrently with in-place label writes plus a
+        serial "settle" pass afterwards; that is unsound: the shared
+        frontier's correctness proof starts from the *pre-decrease* label
+        state, where every still-unrepaired entry is realised by an
+        old-valid path.  From a half-repaired intermediate state an entry
+        can be stranded *behind already-exact neighbours* -- propagation is
+        improvement-gated, so the frontier dies before reaching it and no
+        later pass re-fires it -- and the unlocked check-then-write pair
+        adds a lost-update race that manufactures exactly such states.
+        Keeping the decrease pass serial keeps the engine inside the proof.
+        The shard split still pays off: per-shard frontiers only interact
+        through the separator, which is what a process-pool backend with
+        partitioned label ownership would exploit (see ROADMAP).
+        """
+        all_decreases = [u for shard in shard_decreases for u in shard]
+        return shared_frontier_decrease(
+            self.graph, self.hierarchy, self.labels, all_decreases
+        )

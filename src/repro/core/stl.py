@@ -22,6 +22,7 @@ import math
 from typing import Iterable, Literal
 
 from repro.core.batch import BatchedParetoEngine, BatchPolicy
+from repro.core.shard import ShardedBatchEngine, ShardPlanner
 from repro.core.label_search import (
     LabelSearchDecrease,
     LabelSearchIncrease,
@@ -100,6 +101,16 @@ class StableTreeLabelling:
             self._decrease = LabelSearchDecrease(self.graph, self.hierarchy, self.labels)
             self._increase = LabelSearchIncrease(self.graph, self.hierarchy, self.labels)
         self._batch_engine = BatchedParetoEngine(self.graph, self.hierarchy, self.labels)
+        # The shard planner's regions are topology-only, so switching
+        # maintenance modes keeps the (lazily computed) plan regions; the
+        # bisection is only paid on the first sharded batch.
+        if hasattr(self, "_shard_engine"):
+            planner = self._shard_engine.planner
+        else:
+            planner = ShardPlanner(self.graph)
+        self._shard_engine = ShardedBatchEngine(
+            self.graph, self.hierarchy, self.labels, planner=planner
+        )
 
     @property
     def maintenance_mode(self) -> MaintenanceMode:
@@ -148,6 +159,7 @@ class StableTreeLabelling:
         self,
         updates: Iterable[EdgeUpdate],
         policy: BatchPolicy | None = None,
+        parallel: bool | None = None,
     ) -> MaintenanceStats:
         """Apply a batch of updates with per-edge coalescing.
 
@@ -161,9 +173,15 @@ class StableTreeLabelling:
           that cancels out is a NEUTRAL no-op.
         * **Net-kind processing** -- net increases run before net decreases
           (disjoint edges, so the order only fixes which pass pays for which
-          entry).  In ``pareto`` mode both passes go through the shared-phase
-          :class:`repro.core.batch.BatchedParetoEngine`; in ``label_search``
-          mode the natively batched Algorithms 1-2 process each group.
+          entry).  In ``pareto`` mode the :class:`BatchPolicy` three-way
+          crossover picks the processing strategy -- the per-update loop for
+          tiny batches, the shared-phase
+          :class:`repro.core.batch.BatchedParetoEngine` for moderate ones,
+          and the worker-pool
+          :class:`repro.core.shard.ShardedBatchEngine` for large,
+          well-spread ones (``stats.extra["sharded"]`` records the choice).
+          In ``label_search`` mode the natively batched Algorithms 1-2
+          process each kind group.
         * **Rebuild crossover** -- when the net batch exceeds
           ``policy.rebuild_fraction`` of the graph's edges (and
           ``policy.rebuild_min_updates``), maintaining is slower than
@@ -171,11 +189,24 @@ class StableTreeLabelling:
           from scratch in place (``stats.extra["rebuild_fallback"]`` records
           the fallback).  ``policy`` defaults to :attr:`batch_policy`.
 
+        ``parallel`` overrides the policy's sharding decision: ``True``
+        forces the sharded engine (bypassing the rebuild crossover -- an
+        explicit request to exercise the parallel path, as the benchmarks
+        do), ``False`` forbids it, ``None`` (default) lets the policy's
+        batch-size and shard-balance thresholds decide.  ``parallel=True``
+        requires ``maintenance="pareto"`` and raises :class:`ValueError`
+        otherwise; all strategies produce entry-wise identical labels, so
+        the choice is purely a performance matter.
+
         ``updates_processed`` counts every update consumed from the input
         batch, including NEUTRAL updates and updates folded away by
         coalescing; ``stats.extra["net_updates"]`` reports the coalesced
         batch size.
         """
+        if parallel and self._maintenance_mode != "pareto":
+            raise ValueError(
+                "parallel batch processing requires maintenance='pareto'"
+            )
         batch = updates if isinstance(updates, UpdateBatch) else UpdateBatch(updates)
         total = len(batch)
         if total == 0:
@@ -185,10 +216,21 @@ class StableTreeLabelling:
         # NEUTRAL nets (cancelled chains) do no maintenance work, so they must
         # not push an otherwise-small batch over the rebuild crossover.
         effective = sum(1 for u in net if u.kind is not UpdateKind.NEUTRAL)
-        if policy.should_rebuild(effective, self.graph.num_edges):
+        if parallel is True:
+            stats = self._apply_batch_sharded(net, policy, forced=True)
+        elif policy.should_rebuild(effective, self.graph.num_edges):
             stats = self._rebuild_in_place(net)
         elif self._maintenance_mode == "pareto":
-            stats = self._batch_engine.apply(net.updates)
+            if parallel is not False and policy.should_shard(effective):
+                stats = self._apply_batch_sharded(net, policy, forced=False)
+            elif policy.should_loop(effective):
+                # Tiny batch: the batch machinery would cost more than it
+                # shares; run the plain per-update loop.
+                stats = MaintenanceStats()
+                for update in net:
+                    stats.merge(self.apply_update(update))
+            else:
+                stats = self._batch_engine.apply(net.updates)
         else:
             increases = net.increases()
             decreases = net.decreases()
@@ -200,6 +242,29 @@ class StableTreeLabelling:
                 stats.merge(self._decrease.apply(decreases))
         stats.updates_processed += total - len(net)
         stats.extra["net_updates"] = len(net)
+        return stats
+
+    def _apply_batch_sharded(
+        self, net: UpdateBatch, policy: BatchPolicy, forced: bool
+    ) -> MaintenanceStats:
+        """Plan ``net`` into shards and run the worker-pool engine.
+
+        Unless ``forced``, an unbalanced plan (most updates residual, or a
+        single populated shard) falls back to the serial batched engine --
+        the plan's balance is the second key of the policy's three-way
+        crossover.  The sharded engine itself additionally degrades to the
+        serial engine for degenerate plans, so ``forced=True`` is always
+        safe.
+        """
+        plan = self._shard_engine.planner.plan(net)
+        if not forced and not plan.worth_running(policy):
+            stats = self._batch_engine.apply(net.updates)
+            stats.extra["sharded"] = 0
+            return stats
+        stats = self._shard_engine.apply(
+            net.updates, plan=plan, max_workers=policy.max_workers
+        )
+        stats.extra["sharded"] = 1
         return stats
 
     def _rebuild_in_place(self, net: UpdateBatch) -> MaintenanceStats:

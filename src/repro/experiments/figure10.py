@@ -7,14 +7,19 @@ scratch.  The paper's observation -- maintenance stays below reconstruction
 even for the largest group -- is the headline argument for incremental
 maintenance.
 
-Two maintenance flavours are measured per group:
+Three maintenance flavours are measured per group:
 
-* the historical **per-update loop** (``apply_update`` per stream entry), and
+* the historical **per-update loop** (``apply_update`` per stream entry),
 * the **batched path** (``apply_batch`` on the increase half, then on the
   decrease half), which coalesces per edge, shares the mark/repair phases of
   Pareto Search across the whole group, and auto-falls back to an in-place
   label rebuild past the :class:`repro.core.batch.BatchPolicy` crossover
-  (reported in the ``rebuild fallbacks`` row).
+  (reported in the ``rebuild fallbacks`` row), and
+* the **sharded path** (``apply_batch(..., parallel=True)``), which splits
+  each half along the :class:`repro.core.shard.ShardPlanner` partition and
+  runs the per-region sub-batches on a worker pool
+  (:class:`repro.core.shard.ShardedBatchEngine`), falling back to the serial
+  engine for degenerate plans.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ class Figure10Series:
     group_sizes: list[int] = field(default_factory=list)
     maintenance_seconds: list[float] = field(default_factory=list)
     batched_seconds: list[float] = field(default_factory=list)
+    sharded_seconds: list[float] = field(default_factory=list)
     rebuild_fallbacks: list[int] = field(default_factory=list)
     reconstruction_seconds: float = 0.0
 
@@ -44,6 +50,7 @@ class Figure10Series:
         return {
             "STL per-update [s]": self.maintenance_seconds,
             "STL batched [s]": self.batched_seconds,
+            "STL sharded [s]": self.sharded_seconds,
             "Rebuild fallbacks": [float(n) for n in self.rebuild_fallbacks],
             "Reconstruction [s]": [self.reconstruction_seconds] * len(self.group_sizes),
         }
@@ -77,11 +84,22 @@ def run_figure10(
             series.maintenance_seconds.append(timer.elapsed)
             # The batched path processes the same stream as the paper does: the
             # increase half as one batch, then the restoring decrease half.
+            # parallel=False pins this row to the serial engines: without it
+            # the policy's crossover would route large groups to the sharded
+            # engine and the "batched" row would measure the wrong thing.
             seconds, fallbacks = measure_batched_seconds(
-                stl, (stream.increases(), stream.decreases())
+                stl, (stream.increases(), stream.decreases()), parallel=False
             )
             series.batched_seconds.append(seconds)
             series.rebuild_fallbacks.append(fallbacks)
+            # The sharded path replays the same halves once more (the stream
+            # nets to zero after each pass, so the graph state matches);
+            # parallel=True forces the worker-pool engine even for groups the
+            # policy would keep serial.
+            sharded, _ = measure_batched_seconds(
+                stl, (stream.increases(), stream.decreases()), parallel=True
+            )
+            series.sharded_seconds.append(sharded)
         results.append(series)
     return results
 

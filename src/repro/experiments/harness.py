@@ -51,16 +51,22 @@ class ExperimentConfig:
     leaf_size: int = 16
     batch_rebuild_min_updates: int = 64
     batch_rebuild_fraction: float | None = 0.25
+    batch_parallel_min_updates: int | None = 192
+    batch_parallel_min_balance: float = 0.5
+    batch_max_workers: int | None = None
 
     def hierarchy_options(self) -> HierarchyOptions:
         """Hierarchy options matching this configuration."""
         return HierarchyOptions(beta=self.beta, leaf_size=self.leaf_size)
 
     def batch_policy(self) -> BatchPolicy:
-        """Batch-processing policy (rebuild crossover) for this configuration."""
+        """Batch-processing policy (three-way + rebuild crossover)."""
         return BatchPolicy(
             rebuild_min_updates=self.batch_rebuild_min_updates,
             rebuild_fraction=self.batch_rebuild_fraction,
+            parallel_min_updates=self.batch_parallel_min_updates,
+            parallel_min_balance=self.batch_parallel_min_balance,
+            max_workers=self.batch_max_workers,
         )
 
 
@@ -150,19 +156,24 @@ def apply_batch_timed(index, batch: UpdateBatch) -> float:
 
 
 def measure_batched_seconds(
-    index: StableTreeLabelling, batches: Iterable[UpdateBatch]
+    index: StableTreeLabelling,
+    batches: Iterable[UpdateBatch],
+    parallel: bool | None = None,
 ) -> tuple[float, int]:
     """Total seconds applying ``batches`` via ``apply_batch``, plus fallbacks.
 
     The second element counts how many of the batches crossed the
     :class:`repro.core.batch.BatchPolicy` threshold and were processed as an
     in-place rebuild instead of incremental maintenance (Figure 10's
-    crossover diagnostic).
+    crossover diagnostic).  ``parallel`` is forwarded to
+    :meth:`repro.core.stl.StableTreeLabelling.apply_batch`: ``True`` forces
+    the sharded worker-pool engine (no rebuild fallback can then occur),
+    ``None`` lets the policy's three-way crossover decide.
     """
     timer = Timer()
     fallbacks = 0
     for batch in batches:
         with timer.measure():
-            stats = index.apply_batch(batch)
+            stats = index.apply_batch(batch, parallel=parallel)
         fallbacks += stats.extra.get("rebuild_fallback", 0)
     return timer.elapsed, fallbacks

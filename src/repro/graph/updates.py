@@ -87,12 +87,15 @@ class UpdateBatch:
         self._updates: list[EdgeUpdate] = list(updates)
 
     def __len__(self) -> int:
+        """Number of updates in the batch."""
         return len(self._updates)
 
     def __iter__(self) -> Iterator[EdgeUpdate]:
+        """Iterate the updates in application order."""
         return iter(self._updates)
 
     def __getitem__(self, index: int) -> EdgeUpdate:
+        """The update at position ``index`` (application order)."""
         return self._updates[index]
 
     def append(self, update: EdgeUpdate) -> None:
@@ -129,6 +132,15 @@ class UpdateBatch:
         weight in ``graph`` and whose ``new_weight`` is the chain's final
         weight.  The net update's :attr:`EdgeUpdate.kind` then classifies the
         overall effect (a NEUTRAL net update means the chain cancelled out).
+
+        **Ordering guarantee:** the returned batch lists one net update per
+        distinct edge in *first-seen* order -- the position of an edge's
+        first touch in this batch -- regardless of how often or with which
+        kinds the edge is touched later.  Downstream consumers rely on this
+        being deterministic: :class:`repro.core.shard.ShardPlanner` splits
+        the net batch into per-region sub-batches by iterating it in order,
+        so a stable coalesce order is what makes shard plans (and the
+        parallel schedule built from them) reproducible run to run.
 
         The chain is validated while folding: each update's ``old_weight``
         must match the previous update's ``new_weight`` (or the graph's

@@ -140,3 +140,26 @@ class TestCoalesce:
 
     def test_empty_batch(self, graph):
         assert len(UpdateBatch().coalesce(graph)) == 0
+
+    def test_first_seen_order_is_deterministic(self, graph):
+        """Coalescing preserves first-seen edge order, every time.
+
+        Shard planning (repro.core.shard.ShardPlanner) splits the coalesced
+        batch by iterating it in order; a coalesce that reordered edges (or
+        ordered them differently between runs) would make shard sub-batches
+        -- and with them the whole parallel schedule -- nondeterministic.
+        """
+        batch = UpdateBatch(
+            [
+                EdgeUpdate(1, 2, 4.0, 7.0),
+                EdgeUpdate(0, 1, 2.0, 5.0),
+                EdgeUpdate(2, 3, 6.0, 1.0),
+                EdgeUpdate(1, 2, 7.0, 3.0),  # second touch must not move (1, 2)
+                EdgeUpdate(0, 1, 5.0, 8.0),
+            ]
+        )
+        first_seen = [(1, 2), (0, 1), (2, 3)]
+        for _ in range(3):
+            net = batch.coalesce(graph)
+            assert [(u.u, u.v) for u in net] == first_seen
+        assert [u.new_weight for u in batch.coalesce(graph)] == [3.0, 8.0, 1.0]
