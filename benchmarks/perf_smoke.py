@@ -1,0 +1,135 @@
+"""CI perf-smoke: a scaled-down Figure 10 batch/sharded/process comparison.
+
+Runs one update stream through the four batch strategies of
+:meth:`repro.core.stl.StableTreeLabelling.apply_batch`, writes the
+wall-clocks as ``BENCH_ci.json`` (schema below) and -- when ``--check`` is
+given -- fails if the batched path regressed more than ``--threshold`` x
+against the committed baseline (``benchmarks/baseline.json``).
+
+Schema (``repro-perf-smoke/1``)::
+
+    {
+      "schema": "repro-perf-smoke/1",
+      "dataset": "NY", "scale": 0.5, "updates": 600, "seed": 2025,
+      "python": "3.11.7",
+      "series": {            # wall-clock seconds per strategy
+        "construction": ...,
+        "per_update": ...,
+        "batched": ...,
+        "thread_sharded": ...,
+        "process_sharded": ...
+      }
+    }
+
+The guard keys on the **batched** series only: it is the strategy with the
+least scheduling noise (no pools), so a >2x change means a real algorithmic
+regression rather than a loaded runner.  The sharded series are recorded as
+a trajectory (CI uploads the JSON as an artifact per run) but not gated --
+their wall-clocks depend on the runner's core count.
+
+Regenerate the baseline after an intentional perf change with::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py --write-baseline benchmarks/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+from repro.core.batch import BatchPolicy
+from repro.core.stl import StableTreeLabelling
+from repro.experiments.harness import measure_batched_seconds
+from repro.hierarchy.builder import HierarchyOptions
+from repro.utils.timer import Timer
+from repro.workloads.datasets import build_dataset
+from repro.workloads.updates import mixed_update_stream
+
+SCHEMA = "repro-perf-smoke/1"
+
+
+def run_smoke(dataset: str, scale: float, updates: int, seed: int) -> dict:
+    """Measure the four batch strategies once on one Figure 10 stream."""
+    graph = build_dataset(dataset, scale=scale, seed=seed)
+    stl = StableTreeLabelling.build(graph, HierarchyOptions(leaf_size=8))
+    stl.batch_policy = BatchPolicy(rebuild_fraction=None)
+    series: dict[str, float] = {"construction": stl.construction_seconds}
+
+    stream = mixed_update_stream(stl.graph, updates, factor=2.0, seed=seed)
+    halves = (stream.increases(), stream.decreases())
+
+    timer = Timer()
+    with timer.measure():
+        for update in stream:
+            stl.apply_update(update)
+    series["per_update"] = timer.elapsed
+
+    # Every pass replays the same halves: the stream nets to zero, so the
+    # graph (and therefore the labels) return to the same state in between.
+    series["batched"], _ = measure_batched_seconds(stl, halves, parallel="serial")
+    series["thread_sharded"], _ = measure_batched_seconds(stl, halves, parallel="thread")
+    series["process_sharded"], _ = measure_batched_seconds(stl, halves, parallel="process")
+    stl.close()
+
+    return {
+        "schema": SCHEMA,
+        "dataset": dataset,
+        "scale": scale,
+        "updates": updates,
+        "seed": seed,
+        "python": platform.python_version(),
+        "series": series,
+    }
+
+
+def check_against_baseline(result: dict, baseline_path: Path, threshold: float) -> int:
+    """Return a process exit code: 0 within budget, 1 on regression."""
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    if baseline.get("schema") != SCHEMA:
+        print(f"baseline {baseline_path} has schema {baseline.get('schema')!r}, "
+              f"expected {SCHEMA!r}")
+        return 1
+    reference = baseline["series"]["batched"]
+    measured = result["series"]["batched"]
+    ratio = measured / reference if reference > 0 else float("inf")
+    verdict = "OK" if ratio <= threshold else "REGRESSION"
+    print(f"batched: {measured:.3f}s vs baseline {reference:.3f}s "
+          f"(x{ratio:.2f}, budget x{threshold:.1f}) -> {verdict}")
+    return 0 if ratio <= threshold else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="NY")
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--updates", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the measurement JSON here (e.g. BENCH_ci.json)")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="baseline JSON to compare the batched series against")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="allowed slowdown factor vs the baseline (default 2.0)")
+    parser.add_argument("--write-baseline", type=Path, default=None,
+                        help="write the measurement as the new committed baseline")
+    args = parser.parse_args(argv)
+
+    result = run_smoke(args.dataset, args.scale, args.updates, args.seed)
+    for name, seconds in result["series"].items():
+        print(f"{name:>16}: {seconds:.3f}s")
+
+    for target in (args.out, args.write_baseline):
+        if target is not None:
+            target.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+            print(f"wrote {target}")
+
+    if args.check is not None:
+        return check_against_baseline(result, args.check, args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

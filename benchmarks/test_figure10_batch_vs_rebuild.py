@@ -17,7 +17,13 @@ def test_figure10_report(benchmark, bench_config):
         scale=bench_config.scale,
         leaf_size=bench_config.leaf_size,
     )
-    results = benchmark.pedantic(run_figure10, args=(config,), kwargs={"group_sizes": (10, 25, 50)}, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        run_figure10,
+        args=(config,),
+        kwargs={"group_sizes": (10, 25, 50)},
+        rounds=1,
+        iterations=1,
+    )
     report(format_figure10(results))
     for series in results:
         # The paper's headline: maintaining beats rebuilding for moderate

@@ -13,7 +13,9 @@ def test_figure8_report(benchmark, bench_config):
         updates_per_batch=15,
         leaf_size=bench_config.leaf_size,
     )
-    results = benchmark.pedantic(run_figure8, args=(config,), kwargs={"num_factors": 4}, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        run_figure8, args=(config,), kwargs={"num_factors": 4}, rounds=1, iterations=1
+    )
     report(format_figure8(results))
     for series in results:
         assert series.factors == [2.0, 3.0, 4.0, 5.0]

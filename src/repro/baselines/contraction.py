@@ -106,7 +106,9 @@ class ContractionHierarchy:
         for i, (u, wu) in enumerate(neighbors):
             for x, wx in neighbors[i + 1 :]:
                 shortcut_weight = wu + wx
-                if self.witness_search and self._has_witness(work, contracted, u, x, v, shortcut_weight):
+                if self.witness_search and self._has_witness(
+                    work, contracted, u, x, v, shortcut_weight
+                ):
                     continue
                 existing = work[u].get(x, UNREACHABLE)
                 new_weight = min(existing, shortcut_weight)

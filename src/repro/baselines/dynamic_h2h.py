@@ -101,9 +101,7 @@ class DynamicH2H(H2HIndex):
                 best = candidate
         return best
 
-    def _maintain_shortcuts(
-        self, updates: list[EdgeUpdate], stats: MaintenanceStats
-    ) -> set[int]:
+    def _maintain_shortcuts(self, updates: list[EdgeUpdate], stats: MaintenanceStats) -> set[int]:
         """Propagate shortcut-weight changes bottom-up; return owning bags."""
         rank = self.ch.rank
         shortcuts = self.ch.shortcuts

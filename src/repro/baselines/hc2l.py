@@ -194,9 +194,7 @@ class _HC2LBuilder:
         adjacency: dict[int, dict[int, float]],
     ) -> None:
         separator_set = set(separator)
-        boundary = [
-            v for v in side if any(u in separator_set for u in adjacency[v])
-        ]
+        boundary = [v for v in side if any(u in separator_set for u in adjacency[v])]
         for i, x in enumerate(boundary):
             for y in boundary[i + 1 :]:
                 detour = UNREACHABLE
@@ -273,7 +271,12 @@ class _SubgraphView:
     adjacency so separators account for the added shortcut edges.
     """
 
-    def __init__(self, graph: Graph, vertices: Sequence[int], adjacency: dict[int, dict[int, float]]):
+    def __init__(
+        self,
+        graph: Graph,
+        vertices: Sequence[int],
+        adjacency: dict[int, dict[int, float]],
+    ):
         self._graph = graph
         self._adjacency = adjacency
         self._vertex_set = set(vertices)

@@ -3,9 +3,18 @@
 from repro.core.batch import BatchedParetoEngine, BatchPolicy
 from repro.core.labelling import STLLabels, build_labels
 from repro.core.query import query_distance
-from repro.core.shard import ShardedBatchEngine, ShardPlan, ShardPlanner
+from repro.core.shard import (
+    SerialShardBackend,
+    ShardBackend,
+    ShardedBatchEngine,
+    ShardPlan,
+    ShardPlanner,
+    create_backend,
+    normalize_parallel,
+)
 from repro.core.stl import StableTreeLabelling
 from repro.core.label_search import LabelSearchDecrease, LabelSearchIncrease
+from repro.core.parallel import ProcessShardBackend
 from repro.core.pareto_search import ParetoSearchDecrease, ParetoSearchIncrease
 
 __all__ = [
@@ -14,9 +23,14 @@ __all__ = [
     "STLLabels",
     "build_labels",
     "query_distance",
+    "SerialShardBackend",
+    "ShardBackend",
     "ShardedBatchEngine",
     "ShardPlan",
     "ShardPlanner",
+    "create_backend",
+    "normalize_parallel",
+    "ProcessShardBackend",
     "StableTreeLabelling",
     "LabelSearchDecrease",
     "LabelSearchIncrease",

@@ -37,14 +37,18 @@ suffix length (the suffix is old-valid) nor undershoots the true new
 distance.  Tests verify both passes entry-wise against from-scratch rebuilds.
 
 :class:`BatchPolicy` additionally decides *which* processing strategy a batch
-deserves.  It is a three-way crossover (plus the rebuild fallback):
+deserves.  It is a four-way crossover (plus the rebuild fallback):
 
 * tiny batches run through the historical **per-update loop** -- the batch
   machinery has fixed costs that one or two updates never amortise,
 * moderate batches run through the shared-phase **batched** engine above,
 * large batches whose updates spread across the partition regions of
-  :class:`repro.core.shard.ShardPlanner` run through the **sharded-parallel**
+  :class:`repro.core.shard.ShardPlanner` run through the **thread-sharded**
   :class:`repro.core.shard.ShardedBatchEngine`,
+* very large well-spread batches (past ``process_min_updates``) run through
+  the **process-sharded** :class:`repro.core.parallel.ProcessShardBackend`,
+  whose per-batch shipping overhead only amortises when there is enough
+  repair work per shard to keep the worker processes busy,
 * and past a configurable fraction of affected edges a from-scratch label
   **rebuild** (the Figure 10 baseline) is cheaper than any maintenance.
 
@@ -72,20 +76,22 @@ from repro.utils.errors import UpdateError
 class BatchPolicy:
     """Knobs governing how a batch of updates is processed.
 
-    The policy implements a three-way crossover keyed on the *net* (coalesced)
+    The policy implements a four-way crossover keyed on the *net* (coalesced)
     batch size, refined by the shard balance of the planned partition:
 
-    ========================  =====================================
-    net batch size            strategy
-    ========================  =====================================
-    ``< batched_min_updates``  per-update loop (``apply_update``)
-    moderate                   shared-phase :class:`BatchedParetoEngine`
-    ``>= parallel_min_updates``  sharded worker pool, *if* the shard plan
-                               keeps at least ``parallel_min_balance`` of
-                               the updates out of the residual shard
-    ========================  =====================================
+    ===========================  =====================================
+    net batch size               strategy
+    ===========================  =====================================
+    ``< batched_min_updates``    per-update loop (``apply_update``)
+    moderate                     shared-phase :class:`BatchedParetoEngine`
+    ``>= parallel_min_updates``  thread-sharded worker pool, *if* the shard
+                                 plan keeps at least ``parallel_min_balance``
+                                 of the updates out of the residual shard
+    ``>= process_min_updates``   process-sharded pool with partitioned label
+                                 ownership (same balance gate)
+    ===========================  =====================================
 
-    with the pre-existing rebuild fallback taking precedence over all three.
+    with the pre-existing rebuild fallback taking precedence over all four.
 
     Attributes
     ----------
@@ -109,9 +115,16 @@ class BatchPolicy:
         Minimum fraction of the net updates that must land in per-region
         shard sub-batches (rather than the serial residual shard) for the
         sharded engine to be worth its pool/merge overhead.
+    process_min_updates:
+        From this many net updates onward a sharded batch is routed to the
+        process-pool backend (:mod:`repro.core.parallel`) instead of the
+        thread pool.  ``None`` (the default) keeps the crossover at three
+        ways -- the process backend pays per-batch pickling and a serial
+        settlement pass, so it is opt-in; ``parallel="process"`` always
+        forces it regardless.
     max_workers:
-        Worker-pool size for the sharded engine; ``None`` lets the engine
-        size the pool to ``min(#shards, os.cpu_count())``.
+        Worker-pool size for the sharded engines; ``None`` lets each engine
+        size its pool to ``min(#shards, os.cpu_count())``.
     """
 
     rebuild_min_updates: int = 64
@@ -119,6 +132,7 @@ class BatchPolicy:
     batched_min_updates: int = 3
     parallel_min_updates: int | None = 192
     parallel_min_balance: float = 0.5
+    process_min_updates: int | None = None
     max_workers: int | None = None
 
     def should_rebuild(self, num_net_updates: int, num_edges: int) -> bool:
@@ -138,6 +152,18 @@ class BatchPolicy:
         if self.parallel_min_updates is None:
             return False
         return num_net_updates >= self.parallel_min_updates
+
+    def backend_for(self, num_net_updates: int) -> str:
+        """Which sharded backend a batch of this size deserves.
+
+        Only consulted after :meth:`should_shard` (and the plan-balance
+        gate) already said yes; the answer is the fourth leg of the
+        crossover: ``"process"`` past ``process_min_updates``, else
+        ``"thread"``.
+        """
+        if self.process_min_updates is not None and num_net_updates >= self.process_min_updates:
+            return "process"
+        return "thread"
 
     def accepts_plan(self, populated_shards: int, balance: float) -> bool:
         """Whether a computed shard plan is balanced enough to run.
@@ -167,7 +193,7 @@ def validate_coalesced(graph: Graph, updates: Sequence[EdgeUpdate]) -> None:
             raise UpdateError(
                 f"a coalesced batch is required, but edge ({update.u}, "
                 f"{update.v}) appears more than once; fold the batch with "
-                f"UpdateBatch.coalesce first"
+                "UpdateBatch.coalesce first"
             )
         seen.add(key)
         current = graph.weight(update.u, update.v)
@@ -176,6 +202,81 @@ def validate_coalesced(graph: Graph, updates: Sequence[EdgeUpdate]) -> None:
                 f"edge ({update.u}, {update.v}) has weight {current}, "
                 f"update expected {update.old_weight}"
             )
+
+
+def shared_frontier_relax(
+    adjacency,
+    tau,
+    labels,
+    contexts,
+    counters: list[int],
+    owned: set[int] | None = None,
+    escapes: list[tuple[int, float, int, int, int]] | None = None,
+) -> None:
+    """Shared-frontier decrease relaxation over explicit per-root contexts.
+
+    The single implementation behind :func:`shared_frontier_decrease`
+    (contexts built from the decreased edges, unconfined) and the process
+    shard backend's confined worker frontiers plus escape settlement
+    (:mod:`repro.core.parallel`).  ``contexts`` is a sequence of
+    ``(root, root_label, seeds)`` with seeds ``(distance, interval_min,
+    vertex, interval_max)``; all contexts share one frontier heap, each pop
+    relaxing against its own root label and ``level()`` map, so repairs
+    written by one context prune the candidates of every other.
+    Per-context pops still arrive in nondecreasing distance order (a
+    subsequence of a globally distance-ordered heap), which keeps the
+    ``level(v)`` pruning safe.
+
+    ``counters`` is ``[heap_pushes, labels_changed, vertices_affected]``;
+    ``adjacency``/``labels`` only need ``[]`` lookup.  With ``owned``
+    given, frontier pushes leaving the owned set are recorded as
+    ``(root, *entry)`` escapes instead of followed.
+    """
+    roots = [root for root, _, _ in contexts]
+    root_labels = [label_root for _, label_root, _ in contexts]
+    level_maps: list[dict[int, int]] = [{} for _ in contexts]
+    heap: list[tuple[float, int, int, int, int]] = []
+    for ctx, (_, _, seeds) in enumerate(contexts):
+        for d, active_min, v, active_max in seeds:
+            heappush(heap, (d, active_min, ctx, v, active_max))
+            counters[0] += 1
+
+    while heap:
+        d, active_min, ctx, v, active_max = heappop(heap)
+        level = level_maps[ctx]
+        active_max = min(active_max, tau[v])
+        active_min = max(active_min, level.get(v, 0))
+        if active_min > active_max:
+            continue
+        level[v] = active_max + 1
+        counters[2] += 1
+
+        label_root = root_labels[ctx]
+        label_v = labels[v]
+        new_min = -1
+        new_max = -1
+        for i in range(active_min, active_max + 1):
+            root_dist = label_root[i]
+            if math.isinf(root_dist):
+                continue
+            candidate = d + root_dist
+            if candidate < label_v[i]:
+                label_v[i] = candidate
+                counters[1] += 1
+                if new_min == -1:
+                    new_min = i
+                new_max = i
+
+        if new_min != -1:
+            for nbr, weight in adjacency[v]:
+                if math.isinf(weight) or tau[nbr] < new_min:
+                    continue
+                if owned is not None and nbr not in owned:
+                    if escapes is not None:
+                        escapes.append((roots[ctx], d + weight, new_min, nbr, new_max))
+                    continue
+                heappush(heap, (d + weight, new_min, ctx, nbr, new_max))
+                counters[0] += 1
 
 
 def shared_frontier_decrease(
@@ -190,7 +291,9 @@ def shared_frontier_decrease(
     This is the decrease half of :class:`BatchedParetoEngine`, exposed as a
     function so the sharded engine (:mod:`repro.core.shard`) can reuse it.
     ``apply_weights=False`` skips the weight application for callers that
-    already put the new weights in place.
+    already put the new weights in place.  The search body is the shared
+    :func:`shared_frontier_relax` kernel with one context per
+    ``(root, start)`` endpoint pair.
 
     Correctness requires the **pre-decrease label state**: the decomposition
     argument in the module docstring leans on every still-unrepaired entry
@@ -207,63 +310,20 @@ def shared_frontier_decrease(
     if apply_weights:
         for update in decreases:
             graph.set_weight(update.u, update.v, update.new_weight)
-    adjacency = graph.adjacency()
 
-    # One search context per (root, start) endpoint pair; all contexts
-    # share a single frontier heap.  Heap entries carry the context id so
-    # each pop relaxes against its own root label and level() map, while
-    # repairs written by one context prune the candidates of the others.
-    root_labels: list[list[float]] = []
-    level_maps: list[dict[int, int]] = []
-    heap: list[tuple[float, int, int, int, int]] = []
+    contexts: list[tuple[int, list[float], list[tuple[float, int, int, int]]]] = []
     for update in decreases:
         a, b = _orient(update, tau)
         phi = update.new_weight
         rmin = min(tau[a], tau[b])
         for root, start in ((a, b), (b, a)):
-            ctx = len(root_labels)
-            root_labels.append(labels[root])
-            level_maps.append({})
-            heappush(heap, (phi, 0, ctx, start, rmin))
-            stats.heap_pushes += 1
+            contexts.append((root, labels[root], [(phi, 0, start, rmin)]))
 
-    # Same interval-search body as ParetoSearchDecrease._search_and_repair,
-    # with the per-context state looked up per pop.  Per-context pops
-    # still arrive in nondecreasing distance order (a subsequence of a
-    # globally distance-ordered heap), which keeps the level(v) pruning
-    # safe.
-    while heap:
-        d, active_min, ctx, v, active_max = heappop(heap)
-        level = level_maps[ctx]
-        active_max = min(active_max, tau[v])
-        active_min = max(active_min, level.get(v, 0))
-        if active_min > active_max:
-            continue
-        level[v] = active_max + 1
-        stats.vertices_affected += 1
-
-        label_root = root_labels[ctx]
-        label_v = labels[v]
-        new_min = -1
-        new_max = -1
-        for i in range(active_min, active_max + 1):
-            root_dist = label_root[i]
-            if math.isinf(root_dist):
-                continue
-            candidate = d + root_dist
-            if candidate < label_v[i]:
-                label_v[i] = candidate
-                stats.labels_changed += 1
-                if new_min == -1:
-                    new_min = i
-                new_max = i
-
-        if new_min != -1:
-            for nbr, weight in adjacency[v]:
-                if math.isinf(weight) or tau[nbr] < new_min:
-                    continue
-                heappush(heap, (d + weight, new_min, ctx, nbr, new_max))
-                stats.heap_pushes += 1
+    counters = [0, 0, 0]
+    shared_frontier_relax(graph.adjacency(), tau, labels, contexts, counters)
+    stats.heap_pushes += counters[0]
+    stats.labels_changed += counters[1]
+    stats.vertices_affected += counters[2]
     return stats
 
 
@@ -340,6 +400,4 @@ class BatchedParetoEngine:
     # ------------------------------------------------------------------ #
 
     def _apply_decreases(self, decreases: Sequence[EdgeUpdate]) -> MaintenanceStats:
-        return shared_frontier_decrease(
-            self.graph, self.hierarchy, self.labels, decreases
-        )
+        return shared_frontier_decrease(self.graph, self.hierarchy, self.labels, decreases)

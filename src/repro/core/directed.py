@@ -75,7 +75,9 @@ class DirectedGraph:
         return graph
 
     @classmethod
-    def from_undirected(cls, graph: Graph, asymmetry: Iterable[tuple[int, int, float]] = ()) -> "DirectedGraph":
+    def from_undirected(
+        cls, graph: Graph, asymmetry: Iterable[tuple[int, int, float]] = ()
+    ) -> "DirectedGraph":
         """Directed version of an undirected graph, with optional per-arc overrides."""
         directed = cls(graph.num_vertices)
         for u, v, w in graph.edges():

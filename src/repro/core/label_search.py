@@ -132,7 +132,7 @@ class LabelSearchDecrease(_LabelSearchBase):
         for update in updates:
             if update.kind is UpdateKind.INCREASE:
                 raise UpdateError(
-                    f"LabelSearchDecrease received a weight increase on edge "
+                    "LabelSearchDecrease received a weight increase on edge "
                     f"({update.u}, {update.v})"
                 )
             graph.set_weight(update.u, update.v, update.new_weight)
@@ -188,7 +188,7 @@ class LabelSearchIncrease(_LabelSearchBase):
         for update in updates:
             if update.kind is UpdateKind.DECREASE:
                 raise UpdateError(
-                    f"LabelSearchIncrease received a weight decrease on edge "
+                    "LabelSearchIncrease received a weight decrease on edge "
                     f"({update.u}, {update.v})"
                 )
 
@@ -207,11 +207,19 @@ class LabelSearchIncrease(_LabelSearchBase):
                 # (see repro.core.pareto_search.on_old_shortest_path):
                 # over-marking only costs repair work, under-marking loses
                 # the whole delta.
-                if not math.isinf(da) and not math.isinf(db) and on_old_shortest_path(da + w_old, db):
+                if (
+                    not math.isinf(da)
+                    and not math.isinf(db)
+                    and on_old_shortest_path(da + w_old, db)
+                ):
                     queues.setdefault(i, [])
                     heappush(queues[i], (da + w_old, b))
                     stats.heap_pushes += 1
-                elif not math.isinf(db) and not math.isinf(da) and on_old_shortest_path(db + w_old, da):
+                elif (
+                    not math.isinf(db)
+                    and not math.isinf(da)
+                    and on_old_shortest_path(db + w_old, da)
+                ):
                     queues.setdefault(i, [])
                     heappush(queues[i], (db + w_old, a))
                     stats.heap_pushes += 1

@@ -56,9 +56,7 @@ class STLLabels:
         """``L(v)[i]`` with bounds checking (used by tests and tools)."""
         label = self.labels[vertex]
         if not 0 <= label_index < len(label):
-            raise LabellingError(
-                f"vertex {vertex} has no label entry for index {label_index}"
-            )
+            raise LabellingError(f"vertex {vertex} has no label entry for index {label_index}")
         return label[label_index]
 
     def num_entries(self) -> int:
@@ -94,7 +92,9 @@ class STLLabels:
                     return False
         return True
 
-    def differences(self, other: "STLLabels", tolerance: float = 1e-9) -> list[tuple[int, int, float, float]]:
+    def differences(
+        self, other: "STLLabels", tolerance: float = 1e-9
+    ) -> list[tuple[int, int, float, float]]:
         """List of ``(vertex, index, mine, theirs)`` entries that differ (debug helper)."""
         diffs = []
         for v, (mine, theirs) in enumerate(zip(self.labels, other.labels)):
@@ -119,9 +119,7 @@ def build_labels(graph: Graph, hierarchy: StableTreeHierarchy) -> STLLabels:
             f"graph has {graph.num_vertices}"
         )
     tau = hierarchy.tau
-    labels: list[list[float]] = [
-        [UNREACHABLE] * (tau[v] + 1) for v in range(graph.num_vertices)
-    ]
+    labels: list[list[float]] = [[UNREACHABLE] * (tau[v] + 1) for v in range(graph.num_vertices)]
     for r in hierarchy.vertices_in_label_order():
         index = tau[r]
         distances = dijkstra_rank_restricted(graph, r, tau)
@@ -145,9 +143,7 @@ def rebuild_labels_for_vertex(
         labels[x][index] = d
 
 
-def verify_labels(
-    graph: Graph, hierarchy: StableTreeHierarchy, labels: STLLabels
-) -> list[str]:
+def verify_labels(graph: Graph, hierarchy: StableTreeHierarchy, labels: STLLabels) -> list[str]:
     """Exhaustively verify labels against rank-restricted Dijkstra.
 
     Returns a list of human-readable problems (empty when the labelling is
@@ -161,9 +157,11 @@ def verify_labels(
         for x in hierarchy.descendants(r):
             want = expected.get(x, UNREACHABLE)
             got = labels[x][index]
-            matches = (want == got) if (math.isinf(want) or math.isinf(got)) else abs(want - got) < 1e-9
+            matches = (
+                (want == got)
+                if (math.isinf(want) or math.isinf(got))
+                else abs(want - got) < 1e-9
+            )
             if not matches:
-                problems.append(
-                    f"L({x})[{index}] = {got}, expected {want} (ancestor {r})"
-                )
+                problems.append(f"L({x})[{index}] = {got}, expected {want} (ancestor {r})")
     return problems

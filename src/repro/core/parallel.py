@@ -1,0 +1,625 @@
+"""Process-pool shard backend with partitioned label ownership.
+
+PR 2's :class:`repro.core.shard.ShardedBatchEngine` fans only the *read-only*
+increase mark phases out to a thread pool; every label-writing phase stays
+serial, so under the GIL the sharded path is bounded by single-core repair
+speed.  This module is the ROADMAP's next step: a backend that runs whole
+shard sub-batches -- decreases included -- in true parallel on worker
+*processes*, without changing the planner or the policy.
+
+**Ownership model.**  Each worker process owns the label entries of the
+:class:`repro.core.shard.ShardPlanner` regions assigned to it:
+
+* the coordinator ships, once per batch, the worker's owned label rows
+  (copied via :func:`repro.core.serialization.slice_labels`), the adjacency
+  rows of its owned vertices, and its shard sub-batches;
+* the worker mutates its private copies only -- there is no shared label
+  state, so the PR 2 unsoundness argument against *concurrent in-place*
+  decrease repairs simply does not apply: nothing a worker writes is
+  observable (or corruptible) mid-flight, and the coordinator merges whole
+  rows back *by ownership* (:func:`repro.core.serialization.merge_label_slices`);
+* searches a worker runs are **confined** to its owned vertices.  By the
+  planner's separator property no edge joins two regions, so the only way a
+  search frontier can leave the owned set is through a separator vertex.
+  Such a crossing is not followed -- it is captured as an *escape record*
+  ``(distance, interval_min, target, interval_max)``, the exact heap entry
+  the unconfined search would have pushed.
+
+**Why owned-region decrease repairs are sound.**  The shared-frontier
+decrease proof needs every relaxation chain of the serial execution to be
+replayed from the same starting state with no chain silently dropped.  The
+thread-pool design could not guarantee that with in-place writes (a lost
+update strands an entry behind already-exact neighbours).  Here:
+
+* every worker starts from the same post-increase label state the serial
+  engine would see (owned rows are patched with the coordinator's combined
+  increase repair before the decrease round);
+* chains that stay inside a region are replayed verbatim by its owner;
+* chains that cross the separator are truncated at the crossing and the
+  in-flight heap entry -- which carries the genuine path length, not a label
+  value -- is handed to the coordinator, which *settles* all escapes in one
+  serial unconfined shared-frontier pass on the merged labels.  A chain is
+  only ever pruned when some label entry already beats it, and the write
+  that beat it pushed its own continuations (worker-side or as escapes), so
+  the inductive coverage argument of the serial proof carries over;
+* label writes are always of the form ``path length + root label entry``
+  with both terms upper bounds of their true post-decrease values, so no
+  write can undershoot -- exactness follows from coverage plus soundness.
+
+Separator-touching and region-crossing updates never reach a worker at all:
+the planner routes them to the residual sub-batch, which runs through the
+serial :class:`repro.core.batch.BatchedParetoEngine` last, against the merged
+state -- serial composition of exact engines is exact.
+
+**Phase structure per batch** (coordinator = the calling process):
+
+====  =======================================================  ===========
+ #    phase                                                    where
+====  =======================================================  ===========
+ 1    plan batch into per-region sub-batches + residual        coordinator
+ 2    confined increase mark searches                          workers
+ 3    settle mark escapes, merge marks in batch order,         coordinator
+      apply increase weights, one combined bump-and-repair
+ 4    patch owned rows changed by 3, confined shared-frontier  workers
+      decrease over each worker's sub-batch
+ 5    merge owned rows back, settle decrease escapes           coordinator
+ 6    residual sub-batch through the serial engine             coordinator
+====  =======================================================  ===========
+
+Phases 2 and 4 are the parallel ones and carry the bulk of the search work;
+3 and 5 are the serial separator-coupling passes the partition cannot avoid.
+The protocol is two request/reply messages per worker per batch over a
+:func:`multiprocessing.Pipe`; payloads are plain tuples/dicts of ints and
+floats, so they pickle under any start method.  Workers are persistent
+daemon processes bound to their regions for the backend's lifetime --
+region ownership is stable across batches.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from typing import Any, Sequence
+
+from repro.core.batch import (
+    BatchedParetoEngine,
+    shared_frontier_relax,
+    validate_coalesced,
+)
+from repro.core.label_search import MaintenanceStats
+from repro.core.labelling import STLLabels
+from repro.core.pareto_search import ParetoSearchIncrease, interval_mark_search
+from repro.core.serialization import merge_label_slices, slice_labels
+from repro.core.shard import ShardPlan, ShardPlanner, default_num_shards
+from repro.graph.graph import Graph
+from repro.graph.updates import EdgeUpdate, UpdateKind
+from repro.hierarchy.tree import StableTreeHierarchy
+
+#: Seconds the coordinator waits for a worker reply before declaring the
+#: pool wedged.  Generous for real batches, small enough that a deadlocked
+#: worker fails a CI job instead of eating its whole time budget.
+DEFAULT_REPLY_TIMEOUT = 120.0
+
+# Escape record: the heap entry an unconfined search would have pushed at a
+# separator crossing -- (distance, interval_min, target_vertex, interval_max).
+_Escape = tuple[float, int, int, int]
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+
+def _oriented(tau: Sequence[int], u: int, v: int) -> tuple[int, int]:
+    """``(a, b)`` with ``tau[a] < tau[b]`` (Lemma 5.3 guarantees inequality)."""
+    return (u, v) if tau[u] < tau[v] else (v, u)
+
+
+def _set_row_weight(
+    adjacency: dict[int, list[tuple[int, float]]], u: int, v: int, weight: float
+) -> None:
+    """Overwrite the (u, v) weight in both private adjacency rows."""
+    for a, b in ((u, v), (v, u)):
+        row = adjacency[a]
+        for pos, (nbr, _) in enumerate(row):
+            if nbr == b:
+                row[pos] = (b, weight)
+                break
+
+
+def _worker_mark_phase(state: dict[str, Any]) -> dict[str, Any]:
+    """Confined mark searches for the worker's shard increases (read-only)."""
+    owned = state["owned_set"]
+    tau = state["tau"]
+    adjacency = state["adjacency"]
+    labels = state["labels"]
+    counters = [0, 0, 0]
+    marks: dict[tuple[int, int], dict[int, set[int]]] = {}
+    escapes: list[tuple[tuple[int, int], int, float, int, int, int]] = []
+    for u, v, old, _new in state["increases"]:
+        a, b = _oriented(tau, u, v)
+        rmin = min(tau[a], tau[b])
+        key = (u, v) if u < v else (v, u)
+        hits: dict[int, set[int]] = {}
+        for root, start in ((a, b), (b, a)):
+            out: list[_Escape] = []
+            interval_mark_search(
+                adjacency,
+                tau,
+                labels,
+                labels[root],
+                [(old, 0, start, rmin)],
+                hits,
+                counters,
+                owned=owned,
+                escapes=out,
+            )
+            escapes.extend((key, root, d, mn, v2, mx) for d, mn, v2, mx in out)
+        marks[key] = hits
+    return {"marks": marks, "escapes": escapes, "counters": counters}
+
+
+def _worker_decrease_phase(
+    state: dict[str, Any], patches: list[tuple[int, int, float]]
+) -> dict[str, Any]:
+    """Confined shared-frontier pass over the worker's shard decreases.
+
+    ``patches`` carries the owned entries the coordinator's combined
+    increase repair changed, so the pass starts from the same post-increase
+    label state the serial engine's decrease half would see.
+    """
+    owned = state["owned_set"]
+    tau = state["tau"]
+    adjacency = state["adjacency"]
+    labels = state["labels"]
+    for v, i, value in patches:
+        labels[v][i] = value
+    for u, v, _old, new in state["increases"]:
+        _set_row_weight(adjacency, u, v, new)
+    for u, v, _old, new in state["decreases"]:
+        _set_row_weight(adjacency, u, v, new)
+
+    contexts: list[tuple[int, list[float], list[_Escape]]] = []
+    by_root: dict[int, int] = {}
+    for u, v, _old, new in state["decreases"]:
+        a, b = _oriented(tau, u, v)
+        rmin = min(tau[a], tau[b])
+        for root, start in ((a, b), (b, a)):
+            ctx = by_root.get(root)
+            if ctx is None:
+                ctx = len(contexts)
+                by_root[root] = ctx
+                contexts.append((root, labels[root], []))
+            contexts[ctx][2].append((new, 0, start, rmin))
+
+    counters = [0, 0, 0]
+    escapes: list[tuple[int, float, int, int, int]] = []
+    shared_frontier_relax(adjacency, tau, labels, contexts, counters, owned=owned, escapes=escapes)
+    return {"labels": labels, "escapes": escapes, "counters": counters}
+
+
+def _region_worker_main(conn: Any) -> None:
+    """Worker process main loop: two request/reply rounds per batch.
+
+    Messages: ``("batch", state)`` loads a batch's owned slices and runs the
+    mark phase; ``("decreases", patches)`` runs the decrease phase on the
+    previously loaded state; ``("exit",)`` terminates.  Any exception is
+    reported back as ``("error", traceback)`` so the coordinator can raise
+    instead of hanging.
+    """
+    state: dict[str, Any] | None = None
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        kind = message[0]
+        if kind == "exit":
+            break
+        try:
+            if kind == "batch":
+                state = message[1]
+                state["owned_set"] = set(state["owned"])
+                conn.send(("ok", _worker_mark_phase(state)))
+            elif kind == "decreases":
+                if state is None:
+                    raise RuntimeError("decrease round received before batch state")
+                conn.send(("ok", _worker_decrease_phase(state, message[1])))
+            else:
+                raise RuntimeError(f"unknown worker message {kind!r}")
+        except BaseException:
+            conn.send(("error", traceback.format_exc()))
+    conn.close()
+
+
+# --------------------------------------------------------------------------- #
+# Coordinator side
+# --------------------------------------------------------------------------- #
+
+class _RegionWorker:
+    """A persistent worker process plus the coordinator's pipe end."""
+
+    def __init__(self, context: Any, index: int):
+        self.index = index
+        parent_conn, child_conn = context.Pipe()
+        self.conn = parent_conn
+        self.process = context.Process(
+            target=_region_worker_main,
+            args=(child_conn,),
+            name=f"repro-shard-worker-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+    def send(self, message: tuple[Any, ...]) -> None:
+        self.conn.send(message)
+
+    def recv(self, timeout: float) -> Any:
+        if not self.conn.poll(timeout):
+            raise RuntimeError(
+                f"shard worker {self.index} gave no reply within {timeout:.0f}s "
+                "(deadlocked or killed); closing the pool"
+            )
+        try:
+            status, payload = self.conn.recv()
+        except EOFError as exc:
+            raise RuntimeError(f"shard worker {self.index} died mid-batch") from exc
+        if status != "ok":
+            raise RuntimeError(f"shard worker {self.index} failed:\n{payload}")
+        return payload
+
+    def close(self) -> None:
+        try:
+            if self.process.is_alive():
+                self.conn.send(("exit",))
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - wedged worker
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+
+
+def _pick_start_method(requested: str | None) -> str:
+    """``fork`` where available (cheap, Linux), else the platform default."""
+    available = multiprocessing.get_all_start_methods()
+    if requested is not None:
+        if requested not in available:
+            raise ValueError(f"start method {requested!r} not available; choose from {available}")
+        return requested
+    return "fork" if "fork" in available else available[0]
+
+
+class ProcessShardBackend:
+    """Worker-process batch maintenance with partitioned label ownership.
+
+    Implements the same backend surface as
+    :class:`repro.core.shard.ShardedBatchEngine` (``apply`` /
+    ``planner`` / ``close``) and the same guarantees: labels entry-wise
+    equal to the serial :class:`BatchedParetoEngine`, degenerate plans
+    (fewer than two populated shards) handed wholesale to the serial
+    engine before any worker is spawned.
+
+    Workers are created lazily on the first non-degenerate batch and stay
+    bound to their planner regions until :meth:`close` (regions are
+    topology-only, so the assignment never goes stale).  ``max_workers``
+    caps the pool; with fewer workers than regions, a worker owns several
+    regions -- sound, because regions only touch through the separator, so
+    confinement over the union behaves exactly like per-region confinement.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        graph: Graph,
+        hierarchy: StableTreeHierarchy,
+        labels: STLLabels,
+        planner: ShardPlanner | None = None,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+        reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+    ):
+        self.graph = graph
+        self.hierarchy = hierarchy
+        self.labels = labels
+        self.planner = planner or ShardPlanner(graph)
+        self.max_workers = max_workers
+        self.reply_timeout = reply_timeout
+        self._context = multiprocessing.get_context(_pick_start_method(start_method))
+        self._serial = BatchedParetoEngine(graph, hierarchy, labels)
+        self._increase = ParetoSearchIncrease(graph, hierarchy, labels)
+        self._workers: list[_RegionWorker] | None = None
+        self._worker_of_region: list[int] = []
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _ensure_workers(self, max_workers: int | None) -> list[_RegionWorker]:
+        regions, _ = self.planner.regions()
+        requested = max_workers or self.max_workers
+        if requested is None:
+            # Default sizing never oversubscribes the machine; an explicit
+            # max_workers is honoured as given (tests use it to exercise
+            # multi-worker ownership on small boxes).
+            requested = min(default_num_shards(), os.cpu_count() or 1)
+        count = max(1, min(len(regions), requested))
+        if self._workers is not None and len(self._workers) != count:
+            # A conflicting explicit request resizes the pool rather than
+            # being silently ignored; region ownership is re-derived from
+            # the new count, so the next batch ships consistent slices.
+            self.close()
+        if self._workers is None:
+            self._workers = [_RegionWorker(self._context, k) for k in range(count)]
+            self._worker_of_region = [rid % count for rid in range(len(regions))]
+        return self._workers
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; workers are daemonic)."""
+        if self._workers is not None:
+            for worker in self._workers:
+                worker.close()
+            self._workers = None
+            self._worker_of_region = []
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Batch application
+    # ------------------------------------------------------------------ #
+
+    def apply(
+        self,
+        updates: Sequence[EdgeUpdate],
+        plan: ShardPlan | None = None,
+        max_workers: int | None = None,
+    ) -> MaintenanceStats:
+        """Apply one coalesced batch through the process-pool phases."""
+        validate_coalesced(self.graph, updates)
+        if plan is None:
+            plan = self.planner.plan(updates)
+        stats = MaintenanceStats(updates_processed=len(updates))
+        stats.extra["shards"] = plan.populated_shards
+        stats.extra["sharded_updates"] = plan.sharded_updates
+        stats.extra["residual_updates"] = len(plan.residual)
+
+        if plan.populated_shards < 2:
+            serial_stats = self._serial.apply(updates)
+            serial_stats.updates_processed = 0  # already counted above
+            stats.merge(serial_stats)
+            return stats
+
+        workers = self._ensure_workers(max_workers)
+        tasks = self._build_tasks(plan, workers)
+        stats.extra["process_workers"] = len(tasks)
+
+        try:
+            # Round 1 (parallel): confined increase marks on the pre-batch
+            # state.
+            for widx, task in tasks.items():
+                workers[widx].send(("batch", task))
+            mark_replies = {widx: workers[widx].recv(self.reply_timeout) for widx in tasks}
+
+            sharded_increases = [
+                u
+                for shard in plan.shards
+                for u in shard
+                if u.kind is UpdateKind.INCREASE
+            ]
+            if sharded_increases:
+                stats.merge(self._finish_increases(updates, plan, tasks, mark_replies))
+            for widx, reply in mark_replies.items():
+                self._merge_counters(stats, reply["counters"])
+                stats.extra["mark_escapes"] = stats.extra.get("mark_escapes", 0) + len(
+                    reply["escapes"]
+                )
+
+            # Round 2 (parallel): confined decrease frontiers on the
+            # post-increase state, then ownership merge + escape settlement.
+            decrease_tasks = {widx: task for widx, task in tasks.items() if task["decreases"]}
+            if decrease_tasks:
+                stats.merge(self._run_decreases(tasks, decrease_tasks, workers))
+        except BaseException:
+            # A failed or timed-out round leaves replies of this batch
+            # buffered in the pipes; a retry against the same pool would
+            # consume them as the *next* batch's replies and silently
+            # corrupt labels.  Tear the pool down so the next apply() starts
+            # from freshly spawned workers.
+            self.close()
+            raise
+
+        if len(plan.residual):
+            residual_stats = self._serial.apply(plan.residual.updates)
+            residual_stats.updates_processed = 0  # already counted above
+            stats.merge(residual_stats)
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Task construction
+    # ------------------------------------------------------------------ #
+
+    def _build_tasks(
+        self, plan: ShardPlan, workers: list[_RegionWorker]
+    ) -> dict[int, dict[str, Any]]:
+        """One shipping payload per worker that has a populated region."""
+        adjacency = self.graph.adjacency()
+        tau = self.hierarchy.tau
+        tasks: dict[int, dict[str, Any]] = {}
+        for rid, shard in enumerate(plan.shards):
+            if not len(shard):
+                continue
+            widx = self._worker_of_region[rid]
+            task = tasks.get(widx)
+            if task is None:
+                task = tasks[widx] = {
+                    "owned": [],
+                    "tau": tau,
+                    "adjacency": {},
+                    "labels": {},
+                    "increases": [],
+                    "decreases": [],
+                }
+            region = plan.regions[rid]
+            task["owned"].extend(region)
+            for v in region:
+                task["adjacency"][v] = list(adjacency[v])
+            task["labels"].update(slice_labels(self.labels, region))
+            for u in shard:
+                record = (u.u, u.v, u.old_weight, u.new_weight)
+                if u.kind is UpdateKind.INCREASE:
+                    task["increases"].append(record)
+                elif u.kind is UpdateKind.DECREASE:
+                    task["decreases"].append(record)
+        return tasks
+
+    # ------------------------------------------------------------------ #
+    # Increase half: settle mark escapes, merge in batch order, repair
+    # ------------------------------------------------------------------ #
+
+    def _finish_increases(
+        self,
+        updates: Sequence[EdgeUpdate],
+        plan: ShardPlan,
+        tasks: dict[int, dict[str, Any]],
+        mark_replies: dict[int, Any],
+    ) -> MaintenanceStats:
+        stats = MaintenanceStats()
+        adjacency = self.graph.adjacency()
+        tau = self.hierarchy.tau
+        counters = [0, 0, 0]
+
+        # Collect worker marks and continue every escaped mark search
+        # serially on the (still unmodified) global state.  Escapes are
+        # grouped per (update, root) so each continuation relaxes against
+        # the correct root label with a fresh pruning map; re-examining
+        # vertices a worker already examined is harmless -- the tolerant
+        # mark test is value-based and over-marking is repair-safe.
+        marks_by_edge: dict[tuple[int, int], dict[int, set[int]]] = {}
+        continuations: dict[tuple[tuple[int, int], int], list[_Escape]] = {}
+        for widx in sorted(mark_replies):
+            reply = mark_replies[widx]
+            for key, hits in reply["marks"].items():
+                merged = marks_by_edge.setdefault(key, {})
+                for v, levels in hits.items():
+                    merged.setdefault(v, set()).update(levels)
+            for key, root, d, mn, v, mx in reply["escapes"]:
+                continuations.setdefault((key, root), []).append((d, mn, v, mx))
+        for (key, root), seeds in continuations.items():
+            interval_mark_search(
+                adjacency,
+                tau,
+                self.labels,
+                self.labels[root],
+                sorted(seeds),
+                marks_by_edge.setdefault(key, {}),
+                counters,
+            )
+
+        # Merge the per-update marks into one bump map in the original
+        # coalesced batch order -- the same accumulation the serial engine
+        # performs, so per-entry bump sums are added in the same order.
+        sharded_edges = {
+            (u.u, u.v) if u.u < u.v else (u.v, u.u)
+            for shard in plan.shards
+            for u in shard
+        }
+        increase_order = [
+            u
+            for u in updates
+            if u.kind is UpdateKind.INCREASE
+            and ((u.u, u.v) if u.u < u.v else (u.v, u.u)) in sharded_edges
+        ]
+        affected: dict[int, dict[int, float]] = {}
+        for update in increase_order:
+            key = (update.u, update.v) if update.u < update.v else (update.v, update.u)
+            delta = update.new_weight - update.old_weight
+            for v, levels in marks_by_edge.get(key, {}).items():
+                row = affected.setdefault(v, {})
+                for i in levels:
+                    row[i] = row.get(i, 0.0) + delta
+        stats.vertices_affected += len(affected)
+
+        for update in increase_order:
+            self.graph.set_weight(update.u, update.v, update.new_weight)
+        if affected:
+            stats.merge(self._increase.bump_and_repair(affected))
+
+        # Record the owned entries the combined repair may have changed, so
+        # the decrease round starts from the post-increase state.  The
+        # repair only ever writes entries present in the bump map, so the
+        # patch set is exactly the affected owned entries.
+        owner_of: dict[int, int] = {}
+        for widx, task in tasks.items():
+            for v in task["owned"]:
+                owner_of[v] = widx
+        for v, levels in affected.items():
+            widx = owner_of.get(v)
+            if widx is None:
+                continue
+            patches = tasks[widx].setdefault("patches", [])
+            label_v = self.labels[v]
+            patches.extend((v, i, label_v[i]) for i in levels)
+
+        stats.heap_pushes += counters[0]
+        stats.labels_changed += counters[1]
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Decrease half: parallel confined frontiers + serial settlement
+    # ------------------------------------------------------------------ #
+
+    def _run_decreases(
+        self,
+        tasks: dict[int, dict[str, Any]],
+        decrease_tasks: dict[int, dict[str, Any]],
+        workers: list[_RegionWorker],
+    ) -> MaintenanceStats:
+        stats = MaintenanceStats()
+        for widx, task in decrease_tasks.items():
+            workers[widx].send(("decreases", task.get("patches", [])))
+        # All sharded decrease weights go into the master graph while the
+        # workers run; the settlement pass and the residual engine then see
+        # the same graph the workers' private rows describe.
+        for task in decrease_tasks.values():
+            for u, v, _old, new in task["decreases"]:
+                self.graph.set_weight(u, v, new)
+
+        escape_seeds: dict[int, list[_Escape]] = {}
+        for widx in sorted(decrease_tasks):
+            reply = workers[widx].recv(self.reply_timeout)
+            merge_label_slices(self.labels, reply["labels"], owned=tasks[widx]["owned"])
+            for root, d, mn, v, mx in reply["escapes"]:
+                escape_seeds.setdefault(root, []).append((d, mn, v, mx))
+            self._merge_counters(stats, reply["counters"])
+            stats.extra["decrease_escapes"] = stats.extra.get(
+                "decrease_escapes", 0
+            ) + len(reply["escapes"])
+
+        if escape_seeds:
+            contexts = [
+                (root, self.labels[root], sorted(seeds))
+                for root, seeds in sorted(escape_seeds.items())
+            ]
+            counters = [0, 0, 0]
+            shared_frontier_relax(
+                self.graph.adjacency(), self.hierarchy.tau, self.labels,
+                contexts, counters,
+            )
+            self._merge_counters(stats, counters)
+        return stats
+
+    @staticmethod
+    def _merge_counters(stats: MaintenanceStats, counters: list[int]) -> None:
+        stats.heap_pushes += counters[0]
+        stats.labels_changed += counters[1]
+        stats.vertices_affected += counters[2]

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from heapq import heappop, heappush
-from typing import Iterable
+from typing import Iterable, cast
 
 from repro.core.label_search import (
     MaintenanceStats,
@@ -43,6 +43,78 @@ from repro.graph.updates import EdgeUpdate, UpdateKind
 from repro.utils.errors import UpdateError
 
 UNREACHABLE = math.inf
+
+
+def interval_mark_search(
+    adjacency,
+    tau,
+    labels,
+    label_root,
+    seeds,
+    hits: dict[int, set[int]],
+    counters: list[int],
+    owned: set[int] | None = None,
+    escapes: list[tuple[float, int, int, int]] | None = None,
+) -> None:
+    """The mark half of Algorithm 4 as a reusable kernel.
+
+    This is the single implementation behind
+    :meth:`ParetoSearchIncrease.mark_affected` (seeded with the updated
+    edge, unconfined) and the process shard backend's confined worker marks
+    plus escape settlement (:mod:`repro.core.parallel`).  ``seeds`` are heap
+    entries ``(distance, interval_min, vertex, interval_max)``; ``hits``
+    collects marked levels per vertex; ``counters`` is ``[heap_pushes,
+    labels_changed, vertices_affected]`` (a plain list so worker processes
+    can ship it back without pickling a stats object).
+
+    ``adjacency``/``labels`` only need ``[]`` lookup, so the kernel runs on
+    the live index and on per-region dict slices alike.  With ``owned``
+    given, pushes that leave the owned set are appended to ``escapes`` --
+    the exact entry the unconfined search would have pushed -- instead of
+    followed.  Ties on distance are processed lowest-interval-first so the
+    ``level(v)`` pruning never skips an unexamined level (see
+    :meth:`ParetoSearchDecrease._search_and_repair`).
+    """
+    level: dict[int, int] = {}
+    heap: list[tuple[float, int, int, int]] = []
+    for seed in seeds:
+        heappush(heap, seed)
+        counters[0] += 1
+
+    while heap:
+        d, active_min, v, active_max = heappop(heap)
+        active_max = min(active_max, tau[v])
+        active_min = max(active_min, level.get(v, 0))
+        if active_min > active_max:
+            continue
+        level[v] = active_max + 1
+
+        label_v = labels[v]
+        new_min = -1
+        new_max = -1
+        hit_levels: list[int] = []
+        for i in range(active_min, active_max + 1):
+            root_dist = label_root[i]
+            if math.isinf(root_dist) or math.isinf(label_v[i]):
+                continue
+            if on_old_shortest_path(d + root_dist, label_v[i]):
+                hit_levels.append(i)
+                if new_min == -1:
+                    new_min = i
+                new_max = i
+
+        if new_min != -1:
+            hits.setdefault(v, set()).update(hit_levels)
+            for nbr, weight in adjacency[v]:
+                if math.isinf(weight) or tau[nbr] < new_min:
+                    continue
+                entry = (d + weight, new_min, nbr, new_max)
+                if owned is not None and nbr not in owned:
+                    if escapes is not None:
+                        escapes.append(entry)
+                    continue
+                heappush(heap, entry)
+                counters[0] += 1
 
 
 class _ParetoSearchBase(_LabelSearchBase):
@@ -69,7 +141,7 @@ class ParetoSearchDecrease(_ParetoSearchBase):
         for update in self._as_update_list(updates):
             if update.kind is UpdateKind.INCREASE:
                 raise UpdateError(
-                    f"ParetoSearchDecrease received a weight increase on edge "
+                    "ParetoSearchDecrease received a weight increase on edge "
                     f"({update.u}, {update.v})"
                 )
             stats.merge(self._apply_single(update))
@@ -152,7 +224,7 @@ class ParetoSearchIncrease(_ParetoSearchBase):
         for update in self._as_update_list(updates):
             if update.kind is UpdateKind.DECREASE:
                 raise UpdateError(
-                    f"ParetoSearchIncrease received a weight decrease on edge "
+                    "ParetoSearchIncrease received a weight decrease on edge "
                     f"({update.u}, {update.v})"
                 )
             stats.merge(self._apply_single(update))
@@ -192,51 +264,23 @@ class ParetoSearchIncrease(_ParetoSearchBase):
         Collects, per reached vertex, the exact set of ancestor levels whose
         label entry is realised by a path through the updated edge (the
         equality check of Algorithm 4, line 17); the search itself propagates
-        the containing interval, as in the paper.
+        the containing interval, as in the paper.  The body is the shared
+        :func:`interval_mark_search` kernel, seeded with the updated edge.
         """
         stats = MaintenanceStats()
         tau = self.hierarchy.tau
-        labels = self.labels
-        adjacency = self.graph.adjacency()
-        label_root = labels[root]
-
-        level: dict[int, int] = {}
         rmin = min(tau[root], tau[start])
-        # Same heap ordering as the decrease search: ties on distance are
-        # processed lowest-interval-first so the level(v) pruning never skips
-        # an unexamined level (see ParetoSearchDecrease._search_and_repair).
-        heap: list[tuple[float, int, int, int]] = [(phi_old, 0, start, rmin)]
-        stats.heap_pushes += 1
-
-        while heap:
-            d, active_min, v, active_max = heappop(heap)
-            active_max = min(active_max, tau[v])
-            active_min = max(active_min, level.get(v, 0))
-            if active_min > active_max:
-                continue
-            level[v] = active_max + 1
-
-            label_v = labels[v]
-            new_min = -1
-            new_max = -1
-            hit_levels: list[int] = []
-            for i in range(active_min, active_max + 1):
-                root_dist = label_root[i]
-                if math.isinf(root_dist) or math.isinf(label_v[i]):
-                    continue
-                if on_old_shortest_path(d + root_dist, label_v[i]):
-                    hit_levels.append(i)
-                    if new_min == -1:
-                        new_min = i
-                    new_max = i
-
-            if new_min != -1:
-                affected.setdefault(v, set()).update(hit_levels)
-                for nbr, weight in adjacency[v]:
-                    if math.isinf(weight) or tau[nbr] < new_min:
-                        continue
-                    heappush(heap, (d + weight, new_min, nbr, new_max))
-                    stats.heap_pushes += 1
+        counters = [0, 0, 0]
+        interval_mark_search(
+            self.graph.adjacency(),
+            tau,
+            self.labels,
+            self.labels[root],
+            [(phi_old, 0, start, rmin)],
+            affected,
+            counters,
+        )
+        stats.heap_pushes += counters[0]
         return stats
 
     def bump_and_repair(
@@ -271,7 +315,11 @@ class ParetoSearchIncrease(_ParetoSearchBase):
         # new distance.
         for v, levels in affected.items():
             label_v = labels[v]
-            items = levels.items() if delta is None else ((i, delta) for i in levels)
+            items: Iterable[tuple[int, float]]
+            if delta is None:
+                items = cast("dict[int, float]", levels).items()
+            else:
+                items = ((i, delta) for i in levels)
             for i, bump in items:
                 if not math.isinf(label_v[i]):
                     label_v[i] += bump

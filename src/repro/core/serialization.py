@@ -6,6 +6,15 @@ for checkpointing experiment state, not for exchanging indexes between
 machines with different graphs -- the graph itself is *not* stored (labels
 without their road network are not useful), so ``load_labelling`` takes the
 graph as an argument and validates vertex counts.
+
+Besides the JSON checkpoint format, this module hosts the *per-region label
+slicing* used by the process-pool shard backend
+(:mod:`repro.core.parallel`): a worker process receives the label rows of
+exactly the vertices it owns (:func:`slice_labels`), mutates its private
+copies, and the coordinator merges the rows back by ownership
+(:func:`merge_label_slices`).  Slices are plain ``dict[int, list[float]]``
+so they pickle cheaply and losslessly -- the process backend silently
+depends on that round-trip, which the serialization tests pin down.
 """
 
 from __future__ import annotations
@@ -13,7 +22,7 @@ from __future__ import annotations
 import json
 import math
 import os
-from typing import TextIO
+from typing import Iterable, Mapping, TextIO
 
 from repro.core.labelling import STLLabels
 from repro.core.stl import StableTreeLabelling
@@ -64,9 +73,7 @@ def serialize_labelling(stl: StableTreeLabelling) -> dict:
 def deserialize_labelling(payload: dict, graph: Graph) -> StableTreeLabelling:
     """Rebuild an index from :func:`serialize_labelling` output."""
     if payload.get("format_version") not in _SUPPORTED_VERSIONS:
-        raise SerializationError(
-            f"unsupported format version {payload.get('format_version')!r}"
-        )
+        raise SerializationError(f"unsupported format version {payload.get('format_version')!r}")
     num_vertices = payload["num_vertices"]
     if num_vertices != graph.num_vertices:
         raise SerializationError(
@@ -91,6 +98,56 @@ def deserialize_labelling(payload: dict, graph: Graph) -> StableTreeLabelling:
         payload.get("maintenance", "pareto"),
         construction_seconds=float(payload.get("construction_seconds", 0.0)),
     )
+
+
+# --------------------------------------------------------------------------- #
+# Per-region label slicing (process-pool shard backend)
+# --------------------------------------------------------------------------- #
+
+def slice_labels(labels: STLLabels, vertices: Iterable[int]) -> dict[int, list[float]]:
+    """Copy the label rows of ``vertices`` into a pickle-friendly dict.
+
+    The rows are *copies*: a worker process mutates its slice freely without
+    the coordinator observing partial states, which is what makes the
+    ownership model of :class:`repro.core.parallel.ProcessShardBackend`
+    race-free by construction.
+    """
+    return {v: list(labels[v]) for v in vertices}
+
+
+def region_label_slices(
+    labels: STLLabels, regions: Iterable[Iterable[int]]
+) -> list[dict[int, list[float]]]:
+    """One :func:`slice_labels` dict per planner region (index-aligned)."""
+    return [slice_labels(labels, region) for region in regions]
+
+
+def merge_label_slices(
+    labels: STLLabels,
+    slices: Mapping[int, list[float]],
+    owned: Iterable[int] | None = None,
+) -> int:
+    """Write mutated label rows back into ``labels``; returns rows written.
+
+    ``owned`` restricts the merge to an ownership set (rows for other
+    vertices are ignored rather than merged -- the coordinator's guard
+    against a buggy worker overwriting entries it does not own).  Row
+    lengths are validated: a vertex's label length is fixed by the
+    hierarchy, so a mismatch means the slice belongs to a different index.
+    """
+    allowed = None if owned is None else set(owned)
+    written = 0
+    for v, row in slices.items():
+        if allowed is not None and v not in allowed:
+            continue
+        if len(labels[v]) != len(row):
+            raise SerializationError(
+                f"label slice for vertex {v} has {len(row)} entries, "
+                f"index stores {len(labels[v])}"
+            )
+        labels.labels[v][:] = row
+        written += 1
+    return written
 
 
 def save_labelling(stl: StableTreeLabelling, path_or_handle: str | TextIO) -> None:

@@ -42,15 +42,21 @@ luck -- concurrency is only ever applied to phases that cannot race:
   :class:`BatchedParetoEngine` last, on labels that are exact for the
   mid-batch graph; serial composition of exact engines is exact.
 
-A note on parallelism in CPython: the worker pool provides *concurrency*,
+A note on parallelism in CPython: the thread pool provides *concurrency*,
 not bytecode-level parallelism, under the GIL, and only the read-only mark
 fan-out uses it.  The design's durable value is the plan itself: per-shard
-search frontiers only interact through the separator, so a process-pool
-backend with partitioned label ownership (the ROADMAP's next step) can run
-whole shard sub-batches in true parallel without changing the planner or
-the policy.  The engine reports plan quality (``shards``,
+search frontiers only interact through the separator, which is what the
+*process* backend exploits -- :class:`repro.core.parallel.ProcessShardBackend`
+gives each worker process exclusive ownership of its regions' label rows and
+runs whole shard sub-batches (decreases included) in true parallel on the
+same plan.  Every engine reports plan quality (``shards``,
 ``sharded_updates``, ``residual_updates``) so policies can refuse unbalanced
 plans.
+
+The three engines sit behind one :class:`ShardBackend` protocol (``serial`` /
+``thread`` / ``process``), created by :func:`create_backend` and selected on
+:meth:`repro.core.stl.StableTreeLabelling.apply_batch` via the ``parallel``
+argument (validated by :func:`normalize_parallel`).
 """
 
 from __future__ import annotations
@@ -58,7 +64,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Protocol, Sequence, runtime_checkable
 
 from repro.core.batch import (
     BatchedParetoEngine,
@@ -78,6 +84,64 @@ from repro.partition.bisection import Bisector, HybridBisector
 def default_num_shards() -> int:
     """Default shard count: one per core, clamped to a useful range."""
     return max(2, min(8, os.cpu_count() or 2))
+
+
+#: The backend names ``apply_batch(parallel=...)`` accepts (sorted for the
+#: error message of :func:`normalize_parallel`).
+SHARD_BACKEND_NAMES = ("process", "serial", "thread")
+
+
+def normalize_parallel(parallel: bool | str | None) -> str | None:
+    """Map an ``apply_batch(parallel=...)`` argument to a backend name.
+
+    ``None`` means "let the :class:`repro.core.batch.BatchPolicy` crossover
+    decide" and is returned unchanged.  ``False`` forbids sharding
+    (``"serial"``), ``True`` keeps its historical meaning of forcing the
+    thread backend, and the explicit names ``"serial"`` / ``"thread"`` /
+    ``"process"`` select a backend directly.  Anything else -- including the
+    merely-truthy values the parameter used to swallow silently -- raises
+    :class:`ValueError` naming the allowed set.
+    """
+    if parallel is None:
+        return None
+    if isinstance(parallel, bool):
+        return "thread" if parallel else "serial"
+    if isinstance(parallel, str) and parallel in SHARD_BACKEND_NAMES:
+        return parallel
+    allowed = ", ".join(repr(name) for name in SHARD_BACKEND_NAMES)
+    raise ValueError(
+        f"unknown parallel backend {parallel!r}; allowed backends: {allowed} "
+        "(or True/False/None)"
+    )
+
+
+@runtime_checkable
+class ShardBackend(Protocol):
+    """The surface every sharded-batch backend exposes.
+
+    Implementations: :class:`SerialShardBackend` (no pool -- the batched
+    engine behind the backend interface), :class:`ShardedBatchEngine`
+    (thread pool, concurrent read-only marks) and
+    :class:`repro.core.parallel.ProcessShardBackend` (process pool,
+    partitioned label ownership).  All three take a **coalesced** batch and
+    leave labels entry-wise equal to :class:`BatchedParetoEngine`.
+    """
+
+    name: str
+    planner: "ShardPlanner"
+
+    def apply(
+        self,
+        updates: Sequence[EdgeUpdate],
+        plan: "ShardPlan | None" = None,
+        max_workers: int | None = None,
+    ) -> MaintenanceStats:
+        """Apply one coalesced batch; ``plan`` may be precomputed."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Release pool resources (idempotent; trivial for poolless backends)."""
+        ...  # pragma: no cover - protocol
 
 
 @dataclass
@@ -181,9 +245,7 @@ class ShardPlanner:
         separator: list[int] = []
         # (splittable, region) work list; repeatedly bisect the largest
         # still-splittable region until the target count is reached.
-        regions: list[tuple[bool, list[int]]] = [
-            (True, list(range(graph.num_vertices)))
-        ]
+        regions: list[tuple[bool, list[int]]] = [(True, list(range(graph.num_vertices)))]
         while len(regions) < self.num_shards and any(s for s, _ in regions):
             regions.sort(key=lambda item: (item[0], len(item[1])))
             splittable, region = regions.pop()
@@ -239,13 +301,15 @@ class ShardPlanner:
 
 
 class ShardedBatchEngine:
-    """Worker-pool batch maintenance over a shard plan.
+    """Thread-pool batch maintenance over a shard plan (backend ``thread``).
 
     See the module docstring for the phase structure and the equivalence
     argument.  The engine degrades gracefully: a plan with fewer than two
     populated shards (e.g. a batch that is 100% separator-crossing) is
     handed wholesale to the serial :class:`BatchedParetoEngine`.
     """
+
+    name = "thread"
 
     def __init__(
         self,
@@ -262,6 +326,9 @@ class ShardedBatchEngine:
         self.max_workers = max_workers
         self._serial = BatchedParetoEngine(graph, hierarchy, labels)
         self._increase = ParetoSearchIncrease(graph, hierarchy, labels)
+
+    def close(self) -> None:
+        """Nothing to release: the thread pool is per-:meth:`apply` call."""
 
     def apply(
         self,
@@ -318,9 +385,7 @@ class ShardedBatchEngine:
         ]
         if any(shard_increases):
             with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
-                stats.merge(
-                    self._apply_increases(pool, shard_increases, increase_order)
-                )
+                stats.merge(self._apply_increases(pool, shard_increases, increase_order))
         if any(shard_decreases):
             stats.merge(self._apply_decreases(shard_decreases))
         if len(plan.residual):
@@ -396,9 +461,7 @@ class ShardedBatchEngine:
     # Decreases: one serial shared frontier (deliberately not pooled)
     # ------------------------------------------------------------------ #
 
-    def _apply_decreases(
-        self, shard_decreases: list[list[EdgeUpdate]]
-    ) -> MaintenanceStats:
+    def _apply_decreases(self, shard_decreases: list[list[EdgeUpdate]]) -> MaintenanceStats:
         """One serial shared-frontier pass over all shard decreases.
 
         Deliberately *not* fanned out to the pool.  An earlier design ran
@@ -420,3 +483,67 @@ class ShardedBatchEngine:
         return shared_frontier_decrease(
             self.graph, self.hierarchy, self.labels, all_decreases
         )
+
+
+class SerialShardBackend:
+    """The batched serial engine behind the :class:`ShardBackend` surface.
+
+    Exists so callers can treat "no pool at all" as just another backend
+    (the ``parallel="serial"`` / ``parallel=False`` route); the plan, if
+    provided, is only used for the diagnostic extras.
+    """
+
+    name = "serial"
+
+    def __init__(
+        self,
+        graph: Graph,
+        hierarchy: StableTreeHierarchy,
+        labels: STLLabels,
+        planner: ShardPlanner | None = None,
+        max_workers: int | None = None,
+    ):
+        self.planner = planner or ShardPlanner(graph)
+        self._engine = BatchedParetoEngine(graph, hierarchy, labels)
+
+    def apply(
+        self,
+        updates: Sequence[EdgeUpdate],
+        plan: ShardPlan | None = None,
+        max_workers: int | None = None,
+    ) -> MaintenanceStats:
+        stats = self._engine.apply(updates)
+        if plan is not None:
+            stats.extra["shards"] = plan.populated_shards
+            stats.extra["sharded_updates"] = plan.sharded_updates
+            stats.extra["residual_updates"] = len(plan.residual)
+        return stats
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+def create_backend(
+    name: str,
+    graph: Graph,
+    hierarchy: StableTreeHierarchy,
+    labels: STLLabels,
+    planner: ShardPlanner | None = None,
+    max_workers: int | None = None,
+) -> "ShardBackend":
+    """Instantiate a shard backend by name (``serial``/``thread``/``process``).
+
+    The process backend is imported lazily: :mod:`repro.core.parallel`
+    imports this module for the plan types, and callers that never go
+    multi-process should not pay for the multiprocessing machinery.
+    """
+    if name == "serial":
+        return SerialShardBackend(graph, hierarchy, labels, planner, max_workers)
+    if name == "thread":
+        return ShardedBatchEngine(graph, hierarchy, labels, planner, max_workers)
+    if name == "process":
+        from repro.core.parallel import ProcessShardBackend
+
+        return ProcessShardBackend(graph, hierarchy, labels, planner, max_workers)
+    allowed = ", ".join(repr(n) for n in SHARD_BACKEND_NAMES)
+    raise ValueError(f"unknown shard backend {name!r}; allowed backends: {allowed}")

@@ -22,7 +22,12 @@ import math
 from typing import Iterable, Literal
 
 from repro.core.batch import BatchedParetoEngine, BatchPolicy
-from repro.core.shard import ShardedBatchEngine, ShardPlanner
+from repro.core.shard import (
+    ShardBackend,
+    ShardedBatchEngine,
+    ShardPlanner,
+    normalize_parallel,
+)
 from repro.core.label_search import (
     LabelSearchDecrease,
     LabelSearchIncrease,
@@ -94,6 +99,8 @@ class StableTreeLabelling:
         if maintenance not in ("pareto", "label_search"):
             raise ValueError(f"unknown maintenance mode {maintenance!r}")
         self._maintenance_mode: MaintenanceMode = maintenance
+        self._decrease: ParetoSearchDecrease | LabelSearchDecrease
+        self._increase: ParetoSearchIncrease | LabelSearchIncrease
         if maintenance == "pareto":
             self._decrease = ParetoSearchDecrease(self.graph, self.hierarchy, self.labels)
             self._increase = ParetoSearchIncrease(self.graph, self.hierarchy, self.labels)
@@ -103,14 +110,28 @@ class StableTreeLabelling:
         self._batch_engine = BatchedParetoEngine(self.graph, self.hierarchy, self.labels)
         # The shard planner's regions are topology-only, so switching
         # maintenance modes keeps the (lazily computed) plan regions; the
-        # bisection is only paid on the first sharded batch.
+        # bisection is only paid on the first sharded batch.  The process
+        # backend (live worker processes bound to the same graph/label
+        # objects) survives mode switches for the same reason.
         if hasattr(self, "_shard_engine"):
             planner = self._shard_engine.planner
         else:
             planner = ShardPlanner(self.graph)
+            self._process_backend: ShardBackend | None = None
         self._shard_engine = ShardedBatchEngine(
             self.graph, self.hierarchy, self.labels, planner=planner
         )
+
+    def close(self) -> None:
+        """Release pooled resources (the process backend's workers).
+
+        Idempotent and safe to skip: worker processes are daemonic, so an
+        un-closed index cannot keep the interpreter alive.  Long-running
+        services that build many indexes should still close each one.
+        """
+        if self._process_backend is not None:
+            self._process_backend.close()
+            self._process_backend = None
 
     @property
     def maintenance_mode(self) -> MaintenanceMode:
@@ -159,7 +180,7 @@ class StableTreeLabelling:
         self,
         updates: Iterable[EdgeUpdate],
         policy: BatchPolicy | None = None,
-        parallel: bool | None = None,
+        parallel: bool | str | None = None,
     ) -> MaintenanceStats:
         """Apply a batch of updates with per-edge coalescing.
 
@@ -189,24 +210,27 @@ class StableTreeLabelling:
           from scratch in place (``stats.extra["rebuild_fallback"]`` records
           the fallback).  ``policy`` defaults to :attr:`batch_policy`.
 
-        ``parallel`` overrides the policy's sharding decision: ``True``
-        forces the sharded engine (bypassing the rebuild crossover -- an
-        explicit request to exercise the parallel path, as the benchmarks
-        do), ``False`` forbids it, ``None`` (default) lets the policy's
-        batch-size and shard-balance thresholds decide.  ``parallel=True``
-        requires ``maintenance="pareto"`` and raises :class:`ValueError`
-        otherwise; all strategies produce entry-wise identical labels, so
-        the choice is purely a performance matter.
+        ``parallel`` selects the shard backend: ``"thread"`` or
+        ``"process"`` force that worker-pool engine (bypassing the rebuild
+        crossover -- an explicit request to exercise the parallel path, as
+        the benchmarks do), ``"serial"`` or ``False`` forbid sharding,
+        ``True`` keeps its historical meaning of ``"thread"``, and ``None``
+        (default) lets the policy's batch-size, shard-balance and
+        ``process_min_updates`` thresholds pick between the four
+        strategies.  Any other value raises :class:`ValueError` naming the
+        allowed set (merely-truthy values used to be swallowed silently).
+        Forcing a pool requires ``maintenance="pareto"`` and raises
+        :class:`ValueError` otherwise; all strategies produce entry-wise
+        identical labels, so the choice is purely a performance matter.
 
         ``updates_processed`` counts every update consumed from the input
         batch, including NEUTRAL updates and updates folded away by
         coalescing; ``stats.extra["net_updates"]`` reports the coalesced
         batch size.
         """
-        if parallel and self._maintenance_mode != "pareto":
-            raise ValueError(
-                "parallel batch processing requires maintenance='pareto'"
-            )
+        backend = normalize_parallel(parallel)
+        if backend in ("thread", "process") and self._maintenance_mode != "pareto":
+            raise ValueError("parallel batch processing requires maintenance='pareto'")
         batch = updates if isinstance(updates, UpdateBatch) else UpdateBatch(updates)
         total = len(batch)
         if total == 0:
@@ -216,13 +240,15 @@ class StableTreeLabelling:
         # NEUTRAL nets (cancelled chains) do no maintenance work, so they must
         # not push an otherwise-small batch over the rebuild crossover.
         effective = sum(1 for u in net if u.kind is not UpdateKind.NEUTRAL)
-        if parallel is True:
-            stats = self._apply_batch_sharded(net, policy, forced=True)
+        if backend in ("thread", "process"):
+            stats = self._apply_batch_sharded(net, policy, forced=True, backend=backend)
         elif policy.should_rebuild(effective, self.graph.num_edges):
             stats = self._rebuild_in_place(net)
         elif self._maintenance_mode == "pareto":
-            if parallel is not False and policy.should_shard(effective):
-                stats = self._apply_batch_sharded(net, policy, forced=False)
+            if backend != "serial" and policy.should_shard(effective):
+                stats = self._apply_batch_sharded(
+                    net, policy, forced=False, backend=policy.backend_for(effective)
+                )
             elif policy.should_loop(effective):
                 # Tiny batch: the batch machinery would cost more than it
                 # shares; run the plain per-update loop.
@@ -245,27 +271,50 @@ class StableTreeLabelling:
         return stats
 
     def _apply_batch_sharded(
-        self, net: UpdateBatch, policy: BatchPolicy, forced: bool
+        self,
+        net: UpdateBatch,
+        policy: BatchPolicy,
+        forced: bool,
+        backend: str = "thread",
     ) -> MaintenanceStats:
-        """Plan ``net`` into shards and run the worker-pool engine.
+        """Plan ``net`` into shards and run a worker-pool engine.
 
         Unless ``forced``, an unbalanced plan (most updates residual, or a
         single populated shard) falls back to the serial batched engine --
-        the plan's balance is the second key of the policy's three-way
-        crossover.  The sharded engine itself additionally degrades to the
-        serial engine for degenerate plans, so ``forced=True`` is always
-        safe.
+        the plan's balance is the second key of the policy's crossover.
+        Every sharded engine additionally degrades to the serial engine for
+        degenerate plans, so ``forced=True`` is always safe.  Both engines
+        share one planner, so the plan computed here is the plan they run.
         """
-        plan = self._shard_engine.planner.plan(net)
+        engine = self._shard_backend(backend)
+        plan = engine.planner.plan(net)
         if not forced and not plan.worth_running(policy):
             stats = self._batch_engine.apply(net.updates)
             stats.extra["sharded"] = 0
             return stats
-        stats = self._shard_engine.apply(
-            net.updates, plan=plan, max_workers=policy.max_workers
-        )
+        stats = engine.apply(net.updates, plan=plan, max_workers=policy.max_workers)
         stats.extra["sharded"] = 1
         return stats
+
+    def _shard_backend(self, backend: str) -> ShardBackend:
+        """The thread engine, or the lazily created process backend.
+
+        The process backend is constructed on first use (spawning worker
+        processes is not free) and shares the thread engine's planner, so
+        both pools run the identical partition of the vertex set.
+        """
+        if backend == "thread":
+            return self._shard_engine
+        if self._process_backend is None:
+            from repro.core.parallel import ProcessShardBackend
+
+            self._process_backend = ProcessShardBackend(
+                self.graph,
+                self.hierarchy,
+                self.labels,
+                planner=self._shard_engine.planner,
+            )
+        return self._process_backend
 
     def _rebuild_in_place(self, net: UpdateBatch) -> MaintenanceStats:
         """Apply ``net`` to the graph and rebuild the labels from scratch.

@@ -7,19 +7,23 @@ scratch.  The paper's observation -- maintenance stays below reconstruction
 even for the largest group -- is the headline argument for incremental
 maintenance.
 
-Three maintenance flavours are measured per group:
+Four maintenance flavours are measured per group:
 
 * the historical **per-update loop** (``apply_update`` per stream entry),
 * the **batched path** (``apply_batch`` on the increase half, then on the
   decrease half), which coalesces per edge, shares the mark/repair phases of
   Pareto Search across the whole group, and auto-falls back to an in-place
   label rebuild past the :class:`repro.core.batch.BatchPolicy` crossover
-  (reported in the ``rebuild fallbacks`` row), and
-* the **sharded path** (``apply_batch(..., parallel=True)``), which splits
-  each half along the :class:`repro.core.shard.ShardPlanner` partition and
-  runs the per-region sub-batches on a worker pool
+  (reported in the ``rebuild fallbacks`` row),
+* the **thread-sharded path** (``apply_batch(..., parallel="thread")``),
+  which splits each half along the :class:`repro.core.shard.ShardPlanner`
+  partition and runs the per-region sub-batches on a thread pool
   (:class:`repro.core.shard.ShardedBatchEngine`), falling back to the serial
-  engine for degenerate plans.
+  engine for degenerate plans, and
+* the **process-sharded path** (``apply_batch(..., parallel="process")``),
+  which ships each region's label rows to a worker process that owns them
+  (:class:`repro.core.parallel.ProcessShardBackend`) -- the only flavour
+  whose searches run outside the GIL.
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ class Figure10Series:
     maintenance_seconds: list[float] = field(default_factory=list)
     batched_seconds: list[float] = field(default_factory=list)
     sharded_seconds: list[float] = field(default_factory=list)
+    process_seconds: list[float] = field(default_factory=list)
     rebuild_fallbacks: list[int] = field(default_factory=list)
     reconstruction_seconds: float = 0.0
 
@@ -51,6 +56,7 @@ class Figure10Series:
             "STL per-update [s]": self.maintenance_seconds,
             "STL batched [s]": self.batched_seconds,
             "STL sharded [s]": self.sharded_seconds,
+            "STL process-sharded [s]": self.process_seconds,
             "Rebuild fallbacks": [float(n) for n in self.rebuild_fallbacks],
             "Reconstruction [s]": [self.reconstruction_seconds] * len(self.group_sizes),
         }
@@ -75,7 +81,9 @@ def run_figure10(
         stl.batch_policy = config.batch_policy()
         series = Figure10Series(network=name, reconstruction_seconds=stl.construction_seconds)
         for size in group_sizes:
-            stream = mixed_update_stream(stl.graph, size, factor=config.update_factor, seed=config.seed)
+            stream = mixed_update_stream(
+                stl.graph, size, factor=config.update_factor, seed=config.seed
+            )
             timer = Timer()
             with timer.measure():
                 for update in stream:
@@ -92,14 +100,19 @@ def run_figure10(
             )
             series.batched_seconds.append(seconds)
             series.rebuild_fallbacks.append(fallbacks)
-            # The sharded path replays the same halves once more (the stream
-            # nets to zero after each pass, so the graph state matches);
-            # parallel=True forces the worker-pool engine even for groups the
-            # policy would keep serial.
+            # The sharded paths replay the same halves once more each (the
+            # stream nets to zero after every pass, so the graph state
+            # matches); the explicit backend names force the worker-pool
+            # engines even for groups the policy would keep serial.
             sharded, _ = measure_batched_seconds(
-                stl, (stream.increases(), stream.decreases()), parallel=True
+                stl, (stream.increases(), stream.decreases()), parallel="thread"
             )
             series.sharded_seconds.append(sharded)
+            process, _ = measure_batched_seconds(
+                stl, (stream.increases(), stream.decreases()), parallel="process"
+            )
+            series.process_seconds.append(process)
+        stl.close()  # release the process backend's worker pool
         results.append(series)
     return results
 

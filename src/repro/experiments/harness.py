@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Iterable, Sequence
 
 from repro.baselines.dtdhl import DTDHL
 from repro.baselines.hc2l import HC2L
@@ -53,6 +53,7 @@ class ExperimentConfig:
     batch_rebuild_fraction: float | None = 0.25
     batch_parallel_min_updates: int | None = 192
     batch_parallel_min_balance: float = 0.5
+    batch_process_min_updates: int | None = None
     batch_max_workers: int | None = None
 
     def hierarchy_options(self) -> HierarchyOptions:
@@ -60,12 +61,13 @@ class ExperimentConfig:
         return HierarchyOptions(beta=self.beta, leaf_size=self.leaf_size)
 
     def batch_policy(self) -> BatchPolicy:
-        """Batch-processing policy (three-way + rebuild crossover)."""
+        """Batch-processing policy (four-way + rebuild crossover)."""
         return BatchPolicy(
             rebuild_min_updates=self.batch_rebuild_min_updates,
             rebuild_fraction=self.batch_rebuild_fraction,
             parallel_min_updates=self.batch_parallel_min_updates,
             parallel_min_balance=self.batch_parallel_min_balance,
+            process_min_updates=self.batch_process_min_updates,
             max_workers=self.batch_max_workers,
         )
 
@@ -158,7 +160,7 @@ def apply_batch_timed(index, batch: UpdateBatch) -> float:
 def measure_batched_seconds(
     index: StableTreeLabelling,
     batches: Iterable[UpdateBatch],
-    parallel: bool | None = None,
+    parallel: bool | str | None = None,
 ) -> tuple[float, int]:
     """Total seconds applying ``batches`` via ``apply_batch``, plus fallbacks.
 
@@ -166,9 +168,10 @@ def measure_batched_seconds(
     :class:`repro.core.batch.BatchPolicy` threshold and were processed as an
     in-place rebuild instead of incremental maintenance (Figure 10's
     crossover diagnostic).  ``parallel`` is forwarded to
-    :meth:`repro.core.stl.StableTreeLabelling.apply_batch`: ``True`` forces
-    the sharded worker-pool engine (no rebuild fallback can then occur),
-    ``None`` lets the policy's three-way crossover decide.
+    :meth:`repro.core.stl.StableTreeLabelling.apply_batch`: ``True`` /
+    ``"thread"`` / ``"process"`` force a worker-pool engine (no rebuild
+    fallback can then occur), ``None`` lets the policy's four-way crossover
+    decide.
     """
     timer = Timer()
     fallbacks = 0

@@ -14,9 +14,7 @@ from typing import Iterable, Sequence
 from repro.graph.graph import Graph
 
 
-def connected_components(
-    graph: Graph, vertices: Iterable[int] | None = None
-) -> list[list[int]]:
+def connected_components(graph: Graph, vertices: Iterable[int] | None = None) -> list[list[int]]:
     """Connected components of ``graph`` (optionally restricted to ``vertices``).
 
     Edges with infinite weight are treated as absent, matching the paper's

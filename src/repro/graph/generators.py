@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Sequence
 
 from repro.graph.components import largest_component
 from repro.graph.graph import Graph
@@ -107,11 +106,7 @@ def grid_road_network(
             if r + 1 < rows and rng.random() >= drop_probability:
                 u = index(r + 1, c)
                 graph.add_edge(v, u, _travel_time(_euclidean(coordinates[v], coordinates[u]), rng))
-            if (
-                r + 1 < rows
-                and c + 1 < cols
-                and rng.random() < diagonal_probability
-            ):
+            if r + 1 < rows and c + 1 < cols and rng.random() < diagonal_probability:
                 u = index(r + 1, c + 1)
                 graph.add_edge(v, u, _travel_time(_euclidean(coordinates[v], coordinates[u]), rng))
 

@@ -207,9 +207,7 @@ class StableTreeHierarchy:
     def ancestor_at(self, v: int, label_index: int) -> int:
         """The unique ancestor of ``v`` with the given label index."""
         if label_index > self.tau[v] or label_index < 0:
-            raise HierarchyError(
-                f"vertex {v} has no ancestor with label index {label_index}"
-            )
+            raise HierarchyError(f"vertex {v} has no ancestor with label index {label_index}")
         node = self.node(v)
         for node_id in node.path:
             candidate = self.nodes[node_id]

@@ -17,7 +17,6 @@ applicable/better and is the default used by the hierarchy builder.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -151,7 +150,9 @@ class HybridBisector(Bisector):
     :class:`repro.hierarchy.builder.HierarchyOptions`.
     """
 
-    def __init__(self, refine: bool = True, max_imbalance: float = 0.65, compare_both: bool = False):
+    def __init__(
+        self, refine: bool = True, max_imbalance: float = 0.65, compare_both: bool = False
+    ):
         self.geometric = GeometricBisector(refine, max_imbalance)
         self.bfs = BFSBisector(refine, max_imbalance)
         self.compare_both = compare_both

@@ -18,9 +18,7 @@ from repro.utils.errors import WorkloadError
 from repro.utils.rng import make_rng
 
 
-def _sample_edges(
-    graph: Graph, count: int, rng: random.Random
-) -> list[tuple[int, int, float]]:
+def _sample_edges(graph: Graph, count: int, rng: random.Random) -> list[tuple[int, int, float]]:
     edges = list(graph.edges())
     if not edges:
         raise WorkloadError("graph has no edges to update")

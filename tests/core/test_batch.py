@@ -8,7 +8,7 @@ import pytest
 from repro.core.batch import BatchedParetoEngine, BatchPolicy
 from repro.core.labelling import build_labels, verify_labels
 from repro.core.stl import StableTreeLabelling
-from repro.graph.updates import EdgeUpdate, UpdateBatch, UpdateKind
+from repro.graph.updates import EdgeUpdate, UpdateBatch
 from repro.hierarchy.builder import HierarchyOptions
 from tests.conftest import nx_all_pairs
 
@@ -118,9 +118,7 @@ class TestBatchedParetoEngine:
         assert verify_labels(stl.graph, stl.hierarchy, stl.labels) == []
 
     def test_pure_decrease_batch_shares_frontier(self, stl):
-        updates = [
-            EdgeUpdate(u, v, w, w / 4) for u, v, w in list(stl.graph.edges())[:6]
-        ]
+        updates = [EdgeUpdate(u, v, w, w / 4) for u, v, w in list(stl.graph.edges())[:6]]
         engine = BatchedParetoEngine(stl.graph, stl.hierarchy, stl.labels)
         engine.apply(updates)
         assert verify_labels(stl.graph, stl.hierarchy, stl.labels) == []
@@ -183,9 +181,7 @@ class TestNeutralCounting:
             small_grid.copy(), HierarchyOptions(leaf_size=8), maintenance=mode
         )
         u, v, w = next(iter(stl.graph.edges()))
-        stats = stl.apply_batch(
-            [EdgeUpdate(u, v, w, w * 2), EdgeUpdate(u, v, w * 2, w)]
-        )
+        stats = stl.apply_batch([EdgeUpdate(u, v, w, w * 2), EdgeUpdate(u, v, w * 2, w)])
         assert stats.updates_processed == 2
         assert stats.extra["net_updates"] == 1
         assert stl.graph.weight(u, v) == w

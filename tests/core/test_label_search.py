@@ -130,9 +130,7 @@ class TestRandomisedSequences:
     def test_stats_are_populated(self, small_grid):
         hierarchy, labels = _build(small_grid)
         u, v, w = next(iter(small_grid.edges()))
-        stats = LabelSearchDecrease(small_grid, hierarchy, labels).apply(
-            EdgeUpdate(u, v, w, 1.0)
-        )
+        stats = LabelSearchDecrease(small_grid, hierarchy, labels).apply(EdgeUpdate(u, v, w, 1.0))
         assert stats.updates_processed == 1
         assert stats.heap_pushes >= 0
         merged = stats

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.algorithms.dijkstra import dijkstra_rank_restricted
-from repro.core.labelling import STLLabels, build_labels, verify_labels
+from repro.core.labelling import build_labels, verify_labels
 from repro.graph.graph import Graph
 from repro.hierarchy.builder import HierarchyOptions, build_hierarchy
 from repro.utils.errors import LabellingError

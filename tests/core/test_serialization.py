@@ -1,17 +1,24 @@
 """Unit tests for index serialization."""
 
 import io
+import math
+import pickle
+import random
 
 import pytest
 
 from repro.core.serialization import (
     deserialize_labelling,
     load_labelling,
+    merge_label_slices,
+    region_label_slices,
     save_labelling,
     serialize_labelling,
 )
+from repro.core.shard import ShardPlanner
 from repro.core.stl import StableTreeLabelling
 from repro.graph.graph import Graph
+from repro.graph.updates import EdgeUpdate, UpdateBatch
 from repro.hierarchy.builder import HierarchyOptions
 from repro.utils.errors import SerializationError
 from tests.conftest import nx_all_pairs
@@ -113,3 +120,61 @@ def test_version_1_payload_still_loads(stl):
     loaded = deserialize_labelling(payload, stl.graph)
     assert loaded.construction_seconds == 0.0
     assert loaded.labels.equals(stl.labels)
+
+
+# --------------------------------------------------------------------------- #
+# Pickle round-trips (the process shard backend silently depends on these)
+# --------------------------------------------------------------------------- #
+
+def _mixed_net_batch(graph, seed=3):
+    rng = random.Random(seed)
+    batch = UpdateBatch()
+    for u, v, w in graph.edges():
+        if rng.random() < 0.4:
+            batch.append(EdgeUpdate(u, v, w, round(w * rng.uniform(0.5, 2.0), 3)))
+    return batch.coalesce(graph)
+
+
+def test_shard_plan_pickle_round_trip(small_grid):
+    """A ShardPlan ships to worker processes; pickling must be lossless."""
+    planner = ShardPlanner(small_grid, num_shards=4)
+    plan = planner.plan(_mixed_net_batch(small_grid))
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone.regions == plan.regions
+    assert clone.separator == plan.separator
+    assert list(clone.residual) == list(plan.residual)
+    assert len(clone.shards) == len(plan.shards)
+    for mine, theirs in zip(plan.shards, clone.shards):
+        assert list(mine) == list(theirs)
+    assert clone.balance == plan.balance
+    assert clone.num_updates == plan.num_updates
+
+
+def test_label_slices_pickle_round_trip(stl):
+    """Per-region label slices survive pickling bit-for-bit, inf included."""
+    regions, separator = ShardPlanner(stl.graph, num_shards=4).regions()
+    stl.labels.labels[separator[0]][0] = math.inf  # exercise the inf path
+    slices = region_label_slices(stl.labels, [*regions, separator])
+    clones = pickle.loads(pickle.dumps(slices))
+    assert len(clones) == len(slices)
+    for mine, theirs in zip(slices, clones):
+        assert mine == theirs  # dict equality is entry-wise, inf == inf
+    # Slices are copies: mutating a slice must not touch the index...
+    v = regions[0][0]
+    slices[0][v][0] = -1.0
+    assert stl.labels[v][0] != -1.0
+    # ...until merged back explicitly, and only within the ownership set.
+    written = merge_label_slices(stl.labels, slices[0], owned=regions[0])
+    assert written == len(regions[0])
+    assert stl.labels[v][0] == -1.0
+
+
+def test_merge_label_slices_respects_ownership_and_shape(stl):
+    regions, _ = ShardPlanner(stl.graph, num_shards=4).regions()
+    foreign = regions[1][0]
+    before = list(stl.labels[foreign])
+    written = merge_label_slices(stl.labels, {foreign: [0.0] * len(before)}, owned=regions[0])
+    assert written == 0, "rows outside the ownership set must be ignored"
+    assert stl.labels[foreign] == before
+    with pytest.raises(SerializationError):
+        merge_label_slices(stl.labels, {foreign: [0.0]})

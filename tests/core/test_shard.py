@@ -61,9 +61,7 @@ class TestShardPlanner:
 
     def test_planning_is_deterministic(self, small_grid):
         batch = random_mixed_batch(small_grid, 40, seed=5).coalesce(small_grid)
-        plans = [
-            ShardPlanner(small_grid.copy(), num_shards=4).plan(batch) for _ in range(2)
-        ]
+        plans = [ShardPlanner(small_grid.copy(), num_shards=4).plan(batch) for _ in range(2)]
         assert plans[0].regions == plans[1].regions
         assert plans[0].separator == plans[1].separator
         for a, b in zip(plans[0].shards, plans[1].shards):

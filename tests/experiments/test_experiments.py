@@ -1,6 +1,5 @@
 """Unit tests for the experiment drivers (small configurations)."""
 
-import pytest
 
 from repro.experiments.harness import (
     ExperimentConfig,

@@ -80,7 +80,9 @@ class TestBuild:
             assert node.vertices == sorted(node.vertices)
 
     def test_disconnected_graph_covered(self):
-        graph = Graph.from_edges(8, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (5, 6, 1.0), (6, 7, 1.0)])
+        graph = Graph.from_edges(
+            8, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (5, 6, 1.0), (6, 7, 1.0)]
+        )
         hierarchy = build_hierarchy(graph, HierarchyOptions(leaf_size=2))
         assert all(hierarchy.node_of[v] != -1 for v in range(8))
 

@@ -38,7 +38,9 @@ def test_dynamic_methods_agree_through_a_traffic_day():
     """Replay a stream of rush-hour weight changes; all dynamic methods stay exact."""
     graph = build_dataset("NY", scale=0.2, seed=11)
     stl_p = StableTreeLabelling.build(graph.copy(), HierarchyOptions(leaf_size=8))
-    stl_l = StableTreeLabelling.build(graph.copy(), HierarchyOptions(leaf_size=8), maintenance="label_search")
+    stl_l = StableTreeLabelling.build(
+        graph.copy(), HierarchyOptions(leaf_size=8), maintenance="label_search"
+    )
     inch2h = IncH2H.build(graph.copy())
     oracle_graph = graph.copy()
     oracle = DijkstraOracle.build(oracle_graph)
