@@ -2,14 +2,16 @@
 
 Runs one update stream through the four batch strategies of
 :meth:`repro.core.stl.StableTreeLabelling.apply_batch`, writes the
-wall-clocks as ``BENCH_ci.json`` (schema below) and -- when ``--check`` is
-given -- fails if the batched path regressed more than ``--threshold`` x
-against the committed baseline (``benchmarks/baseline.json``).
+wall-clocks plus memory and shipping measurements as ``BENCH_ci.json``
+(schema below) and -- when ``--check`` is given -- fails if the batched
+path regressed more than ``--threshold`` x against the committed baseline
+(``benchmarks/baseline.json``), or if the label store's estimated memory
+grew more than ``--memory-threshold`` x.
 
-Schema (``repro-perf-smoke/1``)::
+Schema (``repro-perf-smoke/2``)::
 
     {
-      "schema": "repro-perf-smoke/1",
+      "schema": "repro-perf-smoke/2",
       "dataset": "NY", "scale": 0.5, "updates": 600, "seed": 2025,
       "python": "3.11.7",
       "series": {            # wall-clock seconds per strategy
@@ -18,14 +20,26 @@ Schema (``repro-perf-smoke/1``)::
         "batched": ...,
         "thread_sharded": ...,
         "process_sharded": ...
+      },
+      "memory": {
+        "label_store_bytes": ...,   # flat entries + offsets (exact)
+        "estimate_bytes": ...,      # STLLabels.memory_estimate().total_bytes
+        "peak_rss_kb": ...          # getrusage ru_maxrss after all passes
+      },
+      "shipping": {          # slice-vs-delta calibration (core/calibration)
+        "measurements": [{"updates", "slice_bytes", "slice_seconds",
+                          "delta_bytes", "delta_seconds",
+                          "bytes_ratio", "seconds_ratio"}, ...]
       }
     }
 
-The guard keys on the **batched** series only: it is the strategy with the
-least scheduling noise (no pools), so a >2x change means a real algorithmic
-regression rather than a loaded runner.  The sharded series are recorded as
-a trajectory (CI uploads the JSON as an artifact per run) but not gated --
-their wall-clocks depend on the runner's core count.
+The time guard keys on the **batched** series only: it is the strategy
+with the least scheduling noise (no pools), so a >2x change means a real
+algorithmic regression rather than a loaded runner.  The sharded series
+are recorded as a trajectory (CI uploads the JSON as an artifact per run)
+but not gated -- their wall-clocks depend on the runner's core count.
+The memory guard keys on ``estimate_bytes``: it is deterministic for a
+given workload, so any growth is a real change in label-store layout.
 
 Regenerate the baseline after an intentional perf change with::
 
@@ -37,10 +51,12 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import resource
 import sys
 from pathlib import Path
 
 from repro.core.batch import BatchPolicy
+from repro.core.calibration import calibrate_shipping
 from repro.core.stl import StableTreeLabelling
 from repro.experiments.harness import measure_batched_seconds
 from repro.hierarchy.builder import HierarchyOptions
@@ -48,7 +64,7 @@ from repro.utils.timer import Timer
 from repro.workloads.datasets import build_dataset
 from repro.workloads.updates import mixed_update_stream
 
-SCHEMA = "repro-perf-smoke/1"
+SCHEMA = "repro-perf-smoke/2"
 
 
 def run_smoke(dataset: str, scale: float, updates: int, seed: int) -> dict:
@@ -72,6 +88,13 @@ def run_smoke(dataset: str, scale: float, updates: int, seed: int) -> dict:
     series["batched"], _ = measure_batched_seconds(stl, halves, parallel="serial")
     series["thread_sharded"], _ = measure_batched_seconds(stl, halves, parallel="thread")
     series["process_sharded"], _ = measure_batched_seconds(stl, halves, parallel="process")
+
+    shipping = calibrate_shipping(stl.graph, stl.labels).as_dict()
+    memory = {
+        "label_store_bytes": stl.labels.store_bytes(),
+        "estimate_bytes": stl.labels.memory_estimate().total_bytes,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
     stl.close()
 
     return {
@@ -82,10 +105,17 @@ def run_smoke(dataset: str, scale: float, updates: int, seed: int) -> dict:
         "seed": seed,
         "python": platform.python_version(),
         "series": series,
+        "memory": memory,
+        "shipping": shipping,
     }
 
 
-def check_against_baseline(result: dict, baseline_path: Path, threshold: float) -> int:
+def check_against_baseline(
+    result: dict,
+    baseline_path: Path,
+    threshold: float,
+    memory_threshold: float,
+) -> int:
     """Return a process exit code: 0 within budget, 1 on regression."""
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
     if baseline.get("schema") != SCHEMA:
@@ -98,7 +128,20 @@ def check_against_baseline(result: dict, baseline_path: Path, threshold: float) 
     verdict = "OK" if ratio <= threshold else "REGRESSION"
     print(f"batched: {measured:.3f}s vs baseline {reference:.3f}s "
           f"(x{ratio:.2f}, budget x{threshold:.1f}) -> {verdict}")
-    return 0 if ratio <= threshold else 1
+    code = 0 if ratio <= threshold else 1
+
+    baseline_memory = baseline.get("memory", {}).get("estimate_bytes")
+    if baseline_memory is None:
+        print("memory: baseline has no estimate_bytes field, skipping the guard")
+        return code
+    measured_memory = result["memory"]["estimate_bytes"]
+    mem_ratio = (
+        measured_memory / baseline_memory if baseline_memory > 0 else float("inf")
+    )
+    mem_verdict = "OK" if mem_ratio <= memory_threshold else "REGRESSION"
+    print(f"label memory: {measured_memory} B vs baseline {baseline_memory} B "
+          f"(x{mem_ratio:.2f}, budget x{memory_threshold:.1f}) -> {mem_verdict}")
+    return code if mem_ratio <= memory_threshold else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -113,6 +156,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="baseline JSON to compare the batched series against")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="allowed slowdown factor vs the baseline (default 2.0)")
+    parser.add_argument("--memory-threshold", type=float, default=1.5,
+                        help="allowed label-memory growth factor vs the baseline "
+                             "(default 1.5)")
     parser.add_argument("--write-baseline", type=Path, default=None,
                         help="write the measurement as the new committed baseline")
     args = parser.parse_args(argv)
@@ -120,6 +166,15 @@ def main(argv: list[str] | None = None) -> int:
     result = run_smoke(args.dataset, args.scale, args.updates, args.seed)
     for name, seconds in result["series"].items():
         print(f"{name:>16}: {seconds:.3f}s")
+    memory = result["memory"]
+    print(f"label store: {memory['label_store_bytes']} B "
+          f"(estimate {memory['estimate_bytes']} B), "
+          f"peak RSS {memory['peak_rss_kb']} kB")
+    for m in result["shipping"]["measurements"]:
+        print(f"shipping @{m['updates']:>4} updates: "
+              f"slice {m['slice_bytes']} B / {m['slice_seconds'] * 1e3:.2f} ms, "
+              f"delta {m['delta_bytes']} B / {m['delta_seconds'] * 1e3:.2f} ms "
+              f"(x{m['bytes_ratio']:.1f} bytes, x{m['seconds_ratio']:.1f} time)")
 
     for target in (args.out, args.write_baseline):
         if target is not None:
@@ -127,7 +182,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {target}")
 
     if args.check is not None:
-        return check_against_baseline(result, args.check, args.threshold)
+        return check_against_baseline(
+            result, args.check, args.threshold, args.memory_threshold
+        )
     return 0
 
 

@@ -118,10 +118,21 @@ class BatchPolicy:
     process_min_updates:
         From this many net updates onward a sharded batch is routed to the
         process-pool backend (:mod:`repro.core.parallel`) instead of the
-        thread pool.  ``None`` (the default) keeps the crossover at three
-        ways -- the process backend pays per-batch pickling and a serial
-        settlement pass, so it is opt-in; ``parallel="process"`` always
-        forces it regardless.
+        thread pool.  The default of 384 (twice ``parallel_min_updates``)
+        comes from the shipping calibration
+        (:func:`repro.core.calibration.calibrate_shipping`, run by
+        ``benchmarks/perf_smoke.py`` on the NY x0.5 smoke graph): the old
+        slice-shipping protocol moved ~380 KB in ~2.4-3.2 ms per batch
+        *independent of batch size*, which is why the backend used to be
+        opt-in (``None``); the resident delta protocol ships 1.9-20 KB in
+        0.04-0.3 ms (20-200x fewer bytes, 11-59x less time), clearing the
+        10-percent-of-processing-time overhead bar from ~48-update batches up.
+        Shipping therefore no longer gates the crossover; the remaining
+        per-batch cost is the two serial settlement passes, so the default
+        leaves the mid range to the thread engine and engages the process
+        pool only where there is twice the repair work the thread gate
+        already demands.  ``None`` disables the fourth leg;
+        ``parallel="process"`` always forces it regardless.
     max_workers:
         Worker-pool size for the sharded engines; ``None`` lets each engine
         size its pool to ``min(#shards, os.cpu_count())``.
@@ -132,7 +143,7 @@ class BatchPolicy:
     batched_min_updates: int = 3
     parallel_min_updates: int | None = 192
     parallel_min_balance: float = 0.5
-    process_min_updates: int | None = None
+    process_min_updates: int | None = 384
     max_workers: int | None = None
 
     def should_rebuild(self, num_net_updates: int, num_edges: int) -> bool:

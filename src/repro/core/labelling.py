@@ -12,12 +12,24 @@ Construction runs one rank-restricted Dijkstra per vertex ``r`` (in label
 order): the search only expands vertices whose label index is larger than
 ``tau(r)``, which -- by the separator property of the stable tree hierarchy --
 is exactly ``G[Desc(r)]``.
+
+Storage layout
+--------------
+Entries live in **one flat buffer** laid out CSR-style: an ``array('d')`` of
+C doubles (or a ``memoryview`` over a ``multiprocessing.shared_memory``
+segment) plus an offsets array of ``n + 1`` positions, so row ``v`` is
+``entries[offsets[v]:offsets[v + 1]]``.  ``labels[v]`` returns a cached
+zero-copy ``memoryview`` over that range -- reads and writes through a row go
+straight to the flat buffer, slicing any row is O(1) pointer arithmetic, and
+the whole store is numpy-compatible via the buffer protocol
+(``numpy.frombuffer(labels.view)`` gives a float64 array over the entries).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterator
+from array import array
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.algorithms.dijkstra import dijkstra_rank_restricted
 from repro.graph.graph import Graph
@@ -28,78 +40,265 @@ from repro.utils.memory import MemoryEstimate
 #: Sentinel for "ancestor unreachable inside its subgraph".
 UNREACHABLE = math.inf
 
+#: Bytes per entry in the flat store (C double).
+ENTRY_BYTES = 8
+#: Bytes per position in the offsets array (C signed 64-bit).
+OFFSET_BYTES = 8
+
+#: The mutable row view ``STLLabels.__getitem__`` returns.  At runtime it is
+#: a ``memoryview`` over the flat entries buffer; the alias is ``Any`` because
+#: typeshed models ``memoryview`` as a byte container, not a float one.
+LabelRow = Any
+
 
 class STLLabels:
-    """The distance arrays of a Stable Tree Labelling.
+    """The distance arrays of a Stable Tree Labelling (CSR layout).
 
     ``labels[v][i]`` is the subgraph distance from ``v`` to its ancestor with
     label index ``i`` (``math.inf`` when that ancestor cannot be reached
     inside its own subgraph -- possible only on disconnected inputs).
+
+    The public surface is row-oriented and unchanged from the nested-list
+    era: ``labels[v]`` / ``label_of(v)`` return the same mutable row object
+    on every call (identity-stable, write-through), and ``labels.labels[v]``
+    still works as the legacy accessor.  Internally all entries share one
+    flat buffer indexed by a per-vertex offsets array -- see the module
+    docstring for the layout, and :meth:`share_into` / :meth:`unshare` for
+    moving the buffer into and out of shared memory.
     """
 
-    __slots__ = ("labels",)
+    __slots__ = ("_entries", "_offsets", "_view", "_rows")
 
-    def __init__(self, labels: list[list[float]]):
-        self.labels = labels
+    def __init__(self, labels: Iterable[Iterable[float]]):
+        entries = array("d")
+        offsets = array("q", [0])
+        for row in labels:
+            entries.extend(row)
+            offsets.append(len(entries))
+        self._adopt(entries, offsets)
 
-    def __getitem__(self, vertex: int) -> list[float]:
-        return self.labels[vertex]
+    @classmethod
+    def from_flat(cls, entries: Any, offsets: Any) -> "STLLabels":
+        """Adopt a flat entries buffer and its offsets array directly.
+
+        ``entries`` may be an ``array('d')`` or a ``'d'``-format
+        ``memoryview`` (e.g. over a shared-memory segment); either is adopted
+        without copying.  Any other iterable is materialised into a fresh
+        ``array('d')``.  Raises :class:`LabellingError` when the offsets are
+        not a valid CSR index over the entries.
+        """
+        if not isinstance(entries, (array, memoryview)):
+            entries = array("d", entries)
+        if not isinstance(offsets, array) or offsets.typecode != "q":
+            offsets = array("q", offsets)
+        if len(offsets) == 0 or offsets[0] != 0 or offsets[-1] != len(entries):
+            raise LabellingError(
+                f"offsets must run from 0 to len(entries)={len(entries)}, "
+                f"got {offsets[:1]}..{offsets[-1:]}"
+            )
+        if any(offsets[i] > offsets[i + 1] for i in range(len(offsets) - 1)):
+            raise LabellingError("offsets must be non-decreasing")
+        self = object.__new__(cls)
+        self._adopt(entries, offsets)
+        return self
+
+    def _adopt(self, entries: Any, offsets: Any) -> None:
+        """Point the store at ``entries``/``offsets`` and rebuild row views."""
+        self._entries = entries
+        self._offsets = offsets
+        view = entries if isinstance(entries, memoryview) else memoryview(entries)
+        if view.format != "d":
+            raise LabellingError(f"entries buffer must hold C doubles, got format {view.format!r}")
+        self._view = view
+        self._rows = [view[offsets[v] : offsets[v + 1]] for v in range(len(offsets) - 1)]
+
+    def _release_views(self) -> None:
+        """Release every exported view over the current entries buffer."""
+        for row in self._rows:
+            row.release()
+        self._rows = []
+        self._view.release()
+
+    # ------------------------------------------------------------------ #
+    # Row access (the surface every kernel and caller uses)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def labels(self) -> list[LabelRow]:
+        """Per-vertex row views (legacy accessor: ``labels.labels[v][i]``)."""
+        return self._rows
+
+    def __getitem__(self, vertex: int) -> LabelRow:
+        return self._rows[vertex]
 
     def __len__(self) -> int:
-        return len(self.labels)
+        return len(self._rows)
 
-    def label_of(self, vertex: int) -> list[float]:
+    def label_of(self, vertex: int) -> LabelRow:
         """The distance array of ``vertex`` (alias of ``self[vertex]``)."""
-        return self.labels[vertex]
+        return self._rows[vertex]
 
     def entry(self, vertex: int, label_index: int) -> float:
         """``L(v)[i]`` with bounds checking (used by tests and tools)."""
-        label = self.labels[vertex]
+        label = self._rows[vertex]
         if not 0 <= label_index < len(label):
             raise LabellingError(f"vertex {vertex} has no label entry for index {label_index}")
         return label[label_index]
 
+    def set_row(self, vertex: int, values: Sequence[float]) -> None:
+        """Overwrite row ``vertex`` in place; length must match exactly."""
+        row = self._rows[vertex]
+        if len(values) != len(row):
+            raise LabellingError(
+                f"row {vertex} holds {len(row)} entries, cannot assign {len(values)}"
+            )
+        row[:] = array("d", values)
+
+    # ------------------------------------------------------------------ #
+    # Flat-buffer access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def view(self) -> memoryview:
+        """``'d'``-format view over the flat entries buffer (all rows)."""
+        return self._view
+
+    @property
+    def offsets(self) -> Any:
+        """CSR offsets: row ``v`` is ``view[offsets[v]:offsets[v + 1]]``."""
+        return self._offsets
+
+    @property
+    def is_shared(self) -> bool:
+        """Whether the entries live in an adopted external buffer (e.g. shm)."""
+        return isinstance(self._entries, memoryview)
+
     def num_entries(self) -> int:
         """Total number of stored distance entries (Table 4, '# Label Entries')."""
-        return sum(len(label) for label in self.labels)
+        return self._offsets[-1]
 
     def memory_estimate(self) -> MemoryEstimate:
         """Size estimate in the compact layout used for Table 4."""
         return MemoryEstimate(distance_entries=self.num_entries())
 
+    def store_bytes(self) -> int:
+        """Actual bytes held by the flat store (entries plus offsets)."""
+        return self.num_entries() * ENTRY_BYTES + len(self._offsets) * OFFSET_BYTES
+
     def iter_entries(self) -> Iterator[tuple[int, int, float]]:
         """Iterate ``(vertex, label_index, distance)`` over every entry."""
-        for v, label in enumerate(self.labels):
+        for v, label in enumerate(self._rows):
             for i, d in enumerate(label):
                 yield v, i, d
 
     def copy(self) -> "STLLabels":
         """Deep copy (used by tests that compare maintained vs rebuilt labels)."""
-        return STLLabels([list(label) for label in self.labels])
+        entries = array("d")
+        entries.frombytes(self._view.tobytes())
+        return STLLabels.from_flat(entries, array("q", self._offsets))
+
+    def load_from(self, other: "STLLabels") -> None:
+        """Copy every entry from ``other`` through the live buffer.
+
+        Engines -- and, when shared, resident worker processes -- hold
+        references to this object and its memory, so an in-place rebuild must
+        overwrite the buffer rather than replace it.  Shapes must match.
+        """
+        if self._offsets != other._offsets:
+            raise LabellingError("label shapes differ; cannot load in place")
+        self._view[:] = other._view
+
+    # ------------------------------------------------------------------ #
+    # Shared-memory residency
+    # ------------------------------------------------------------------ #
+
+    def share_into(self, target: memoryview) -> None:
+        """Move the entries into ``target`` (a shared-memory mapping).
+
+        Copies the current values into ``target`` and repoints every row view
+        at it; afterwards writes through this object are visible to every
+        process mapping the same segment.  ``target`` must be a writable
+        ``'d'``-format view with exactly ``num_entries()`` items (slice a
+        page-rounded segment down first: ``shm.buf[:nbytes].cast('d')``).
+        """
+        if target.format != "d" or target.readonly or len(target) != self.num_entries():
+            raise LabellingError(
+                f"target must be a writable 'd' view of {self.num_entries()} items"
+            )
+        target[:] = self._view
+        self._release_views()
+        self._adopt(target, self._offsets)
+
+    def unshare(self) -> None:
+        """Detach from a shared buffer back onto a private ``array('d')``.
+
+        Copies the current values out, then releases every exported view over
+        the shared buffer so the caller can close the mapping.  No-op when the
+        store is already private.
+        """
+        if not self.is_shared:
+            return
+        entries = array("d")
+        entries.frombytes(self._view.tobytes())
+        self._release_views()
+        self._adopt(entries, self._offsets)
+
+    def release_views(self) -> None:
+        """Release every exported view, leaving the object unusable.
+
+        Worker processes call this on a shared-buffer store before closing
+        their mapping (an exported ``memoryview`` would make ``shm.close()``
+        raise ``BufferError``).
+        """
+        self._release_views()
+
+    # ------------------------------------------------------------------ #
+    # Comparison
+    # ------------------------------------------------------------------ #
 
     def equals(self, other: "STLLabels", tolerance: float = 1e-9) -> bool:
-        """Entry-wise equality within ``tolerance`` (inf entries must match exactly)."""
-        if len(self.labels) != len(other.labels):
+        """Entry-wise equality within ``tolerance`` (inf entries must match exactly).
+
+        Stores with different vertex counts or row lengths are unequal --
+        every entry one side is missing counts as a mismatch, mirroring
+        :meth:`differences`.
+        """
+        if self._offsets != other._offsets:
             return False
-        for mine, theirs in zip(self.labels, other.labels):
-            if len(mine) != len(theirs):
-                return False
-            for a, b in zip(mine, theirs):
-                if math.isinf(a) or math.isinf(b):
-                    if a != b:
-                        return False
-                elif abs(a - b) > tolerance:
+        for a, b in zip(self._view, other._view):
+            if math.isinf(a) or math.isinf(b):
+                if a != b:
                     return False
+            elif abs(a - b) > tolerance:
+                return False
         return True
 
     def differences(
         self, other: "STLLabels", tolerance: float = 1e-9
     ) -> list[tuple[int, int, float, float]]:
-        """List of ``(vertex, index, mine, theirs)`` entries that differ (debug helper)."""
+        """List of ``(vertex, index, mine, theirs)`` entries that differ.
+
+        Rows are compared out to ``max(len)`` (and vertex sets out to the
+        larger store): an entry present on one side only is reported with
+        ``math.nan`` standing in for the missing value and always counts as a
+        difference.  A ``zip``-based scan would silently truncate exactly the
+        rows whose length changed -- the diffs most worth reporting.
+        """
         diffs = []
-        for v, (mine, theirs) in enumerate(zip(self.labels, other.labels)):
-            for i, (a, b) in enumerate(zip(mine, theirs)):
-                different = (a != b) if (math.isinf(a) or math.isinf(b)) else abs(a - b) > tolerance
+        mine_rows = self._rows
+        their_rows = other._rows
+        for v in range(max(len(mine_rows), len(their_rows))):
+            mine = mine_rows[v] if v < len(mine_rows) else ()
+            theirs = their_rows[v] if v < len(their_rows) else ()
+            for i in range(max(len(mine), len(theirs))):
+                a = mine[i] if i < len(mine) else math.nan
+                b = theirs[i] if i < len(theirs) else math.nan
+                if math.isnan(a) or math.isnan(b):
+                    different = True
+                elif math.isinf(a) or math.isinf(b):
+                    different = a != b
+                else:
+                    different = abs(a - b) > tolerance
                 if different:
                     diffs.append((v, i, a, b))
         return diffs
@@ -111,7 +310,8 @@ def build_labels(graph: Graph, hierarchy: StableTreeHierarchy) -> STLLabels:
     For each vertex ``r`` (processed in label order, high-level separators
     first) a rank-restricted Dijkstra computes the distances from ``r`` to
     every vertex of ``G[Desc(r)]``; those distances become the entries at
-    label index ``tau(r)`` in the labels of the reached vertices.
+    label index ``tau(r)`` in the labels of the reached vertices.  Entries
+    are written straight into the flat CSR buffer.
     """
     if hierarchy.num_vertices != graph.num_vertices:
         raise LabellingError(
@@ -119,13 +319,18 @@ def build_labels(graph: Graph, hierarchy: StableTreeHierarchy) -> STLLabels:
             f"graph has {graph.num_vertices}"
         )
     tau = hierarchy.tau
-    labels: list[list[float]] = [[UNREACHABLE] * (tau[v] + 1) for v in range(graph.num_vertices)]
+    offsets = array("q", [0])
+    total = 0
+    for v in range(graph.num_vertices):
+        total += tau[v] + 1
+        offsets.append(total)
+    entries = array("d", [UNREACHABLE]) * total
     for r in hierarchy.vertices_in_label_order():
         index = tau[r]
         distances = dijkstra_rank_restricted(graph, r, tau)
         for x, d in distances.items():
-            labels[x][index] = d
-    return STLLabels(labels)
+            entries[offsets[x] + index] = d
+    return STLLabels.from_flat(entries, offsets)
 
 
 def rebuild_labels_for_vertex(

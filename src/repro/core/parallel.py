@@ -1,45 +1,69 @@
-"""Process-pool shard backend with partitioned label ownership.
+"""Process-pool shard backend: resident workers on shared label memory.
 
 PR 2's :class:`repro.core.shard.ShardedBatchEngine` fans only the *read-only*
 increase mark phases out to a thread pool; every label-writing phase stays
 serial, so under the GIL the sharded path is bounded by single-core repair
-speed.  This module is the ROADMAP's next step: a backend that runs whole
-shard sub-batches -- decreases included -- in true parallel on worker
-*processes*, without changing the planner or the policy.
+speed.  This backend runs whole shard sub-batches -- decreases included -- in
+true parallel on worker *processes*, without changing the planner or the
+policy.
 
-**Ownership model.**  Each worker process owns the label entries of the
-:class:`repro.core.shard.ShardPlanner` regions assigned to it:
+**Residency model.**  Label entries live in one flat CSR buffer
+(:class:`repro.core.labelling.STLLabels`), which the coordinator moves into a
+``multiprocessing.shared_memory`` segment when the pool starts
+(:meth:`STLLabels.share_into`).  Each worker process maps the segment once,
+at startup, and builds its own ``STLLabels`` facade over the mapping -- the
+same bytes the coordinator sees.  From then on **no label data is ever
+shipped in either direction**; per batch the coordinator ships only
 
-* the coordinator ships, once per batch, the worker's owned label rows
-  (copied via :func:`repro.core.serialization.slice_labels`), the adjacency
-  rows of its owned vertices, and its shard sub-batches;
-* the worker mutates its private copies only -- there is no shared label
-  state, so the PR 2 unsoundness argument against *concurrent in-place*
-  decrease repairs simply does not apply: nothing a worker writes is
-  observable (or corruptible) mid-flight, and the coordinator merges whole
-  rows back *by ownership* (:func:`repro.core.serialization.merge_label_slices`);
-* searches a worker runs are **confined** to its owned vertices.  By the
-  planner's separator property no edge joins two regions, so the only way a
-  search frontier can leave the owned set is through a separator vertex.
-  Such a crossing is not followed -- it is captured as an *escape record*
-  ``(distance, interval_min, target, interval_max)``, the exact heap entry
-  the unconfined search would have pushed.
+* the worker's shard sub-batches (the update records themselves), and
+* *weight deltas*: the ``(u, v, new_weight)`` triples written to the master
+  graph since the worker's adjacency mirror was last synced, filtered to
+  edges incident to its owned vertices (the graph keeps a bounded write log,
+  :meth:`repro.graph.graph.Graph.weight_changes_since`; if the log was
+  trimmed past a worker's cursor, or the topology changed, the coordinator
+  falls back to re-shipping that worker's owned adjacency rows wholesale).
+
+Deltas carry absolute weights, so replaying one twice is idempotent -- a
+worker that sat out several batches catches up from its cursor without
+ordering hazards.
+
+**Ownership and race freedom.**  Each worker owns the
+:class:`repro.core.shard.ShardPlanner` regions assigned to it (``region_id %
+worker_count``).  Shared-memory writes are race-free *by phase discipline*,
+not by locking:
+
+* workers write label rows only during their two phases, and only rows of
+  vertices they own -- ownership sets are disjoint by construction;
+* the coordinator writes labels only *between* worker phases (escape
+  settlement, the combined increase repair, the residual engine), while
+  every worker is blocked on its pipe waiting for the next message.
+
+The strict request/reply alternation over each worker's pipe is the
+synchronisation point: a worker cannot observe a coordinator write while the
+coordinator is mutating, and vice versa.
+
+**Confinement and escapes.**  Searches a worker runs are confined to its
+owned vertices.  By the planner's separator property no edge joins two
+regions, so the only way a search frontier can leave the owned set is
+through a separator vertex.  Such a crossing is not followed -- it is
+captured as an *escape record* ``(distance, interval_min, target,
+interval_max)``, the exact heap entry the unconfined search would have
+pushed, and settled serially by the coordinator.
 
 **Why owned-region decrease repairs are sound.**  The shared-frontier
 decrease proof needs every relaxation chain of the serial execution to be
-replayed from the same starting state with no chain silently dropped.  The
-thread-pool design could not guarantee that with in-place writes (a lost
-update strands an entry behind already-exact neighbours).  Here:
+replayed from the same starting state with no chain silently dropped:
 
-* every worker starts from the same post-increase label state the serial
-  engine would see (owned rows are patched with the coordinator's combined
-  increase repair before the decrease round);
+* every worker starts its decrease phase from the same post-increase label
+  state the serial engine would see -- trivially so, because the combined
+  increase repair wrote *through the shared mapping* before the decrease
+  round began;
 * chains that stay inside a region are replayed verbatim by its owner;
 * chains that cross the separator are truncated at the crossing and the
   in-flight heap entry -- which carries the genuine path length, not a label
-  value -- is handed to the coordinator, which *settles* all escapes in one
-  serial unconfined shared-frontier pass on the merged labels.  A chain is
-  only ever pruned when some label entry already beats it, and the write
+  value -- is handed to the coordinator, which settles all escapes in one
+  serial unconfined shared-frontier pass over the (shared) labels.  A chain
+  is only ever pruned when some label entry already beats it, and the write
   that beat it pushed its own continuations (worker-side or as escapes), so
   the inductive coverage argument of the serial proof carries over;
 * label writes are always of the form ``path length + root label entry``
@@ -48,7 +72,7 @@ update strands an entry behind already-exact neighbours).  Here:
 
 Separator-touching and region-crossing updates never reach a worker at all:
 the planner routes them to the residual sub-batch, which runs through the
-serial :class:`repro.core.batch.BatchedParetoEngine` last, against the merged
+serial :class:`repro.core.batch.BatchedParetoEngine` last, against the shared
 state -- serial composition of exact engines is exact.
 
 **Phase structure per batch** (coordinator = the calling process):
@@ -57,12 +81,13 @@ state -- serial composition of exact engines is exact.
  #    phase                                                    where
 ====  =======================================================  ===========
  1    plan batch into per-region sub-batches + residual        coordinator
- 2    confined increase mark searches                          workers
+ 2    sync adjacency deltas, confined increase mark searches   workers
  3    settle mark escapes, merge marks in batch order,         coordinator
       apply increase weights, one combined bump-and-repair
- 4    patch owned rows changed by 3, confined shared-frontier  workers
-      decrease over each worker's sub-batch
- 5    merge owned rows back, settle decrease escapes           coordinator
+      (writes land in the shared mapping)
+ 4    sync this batch's weight deltas, confined                workers
+      shared-frontier decrease writing owned rows in place
+ 5    settle decrease escapes                                  coordinator
  6    residual sub-batch through the serial engine             coordinator
 ====  =======================================================  ===========
 
@@ -71,15 +96,19 @@ Phases 2 and 4 are the parallel ones and carry the bulk of the search work;
 The protocol is two request/reply messages per worker per batch over a
 :func:`multiprocessing.Pipe`; payloads are plain tuples/dicts of ints and
 floats, so they pickle under any start method.  Workers are persistent
-daemon processes bound to their regions for the backend's lifetime --
-region ownership is stable across batches.
+daemon processes bound to their regions -- and to the one shared segment --
+for the backend's lifetime; :meth:`ProcessShardBackend.close` detaches the
+labels and unlinks the segment.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import traceback
+from array import array
+from multiprocessing import shared_memory
 from typing import Any, Sequence
 
 from repro.core.batch import (
@@ -88,9 +117,8 @@ from repro.core.batch import (
     validate_coalesced,
 )
 from repro.core.label_search import MaintenanceStats
-from repro.core.labelling import STLLabels
+from repro.core.labelling import ENTRY_BYTES, STLLabels
 from repro.core.pareto_search import ParetoSearchIncrease, interval_mark_search
-from repro.core.serialization import merge_label_slices, slice_labels
 from repro.core.shard import ShardPlan, ShardPlanner, default_num_shards
 from repro.graph.graph import Graph
 from repro.graph.updates import EdgeUpdate, UpdateKind
@@ -115,16 +143,85 @@ def _oriented(tau: Sequence[int], u: int, v: int) -> tuple[int, int]:
     return (u, v) if tau[u] < tau[v] else (v, u)
 
 
-def _set_row_weight(
-    adjacency: dict[int, list[tuple[int, float]]], u: int, v: int, weight: float
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    The coordinator owns the segment and unlinks it at close; the worker
+    must *not* let the resource tracker adopt it too (Python registers
+    every attach until 3.13's ``track=False``).  Under the ``fork`` start
+    method the tracker process is even *shared* with the coordinator, so a
+    worker registration (or a compensating unregister) would corrupt the
+    coordinator's own bookkeeping.  On older Pythons the registration is
+    suppressed by masking ``resource_tracker.register`` for the duration of
+    the attach -- safe here because the worker is single-threaded.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # Python < 3.13: no track flag
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _worker_init(payload: dict[str, Any]) -> dict[str, Any]:
+    """Map the shared label segment and mirror the owned adjacency rows."""
+    segment = _attach_segment(payload["segment"])
+    nbytes = payload["num_entries"] * ENTRY_BYTES
+    entries = segment.buf[:nbytes].cast("d")
+    offsets = array("q")
+    offsets.frombytes(payload["offsets"])
+    labels = STLLabels.from_flat(entries, offsets)
+    return {
+        "segment": segment,
+        "labels": labels,
+        "tau": payload["tau"],
+        "owned": payload["owned"],
+        "owned_set": set(payload["owned"]),
+        "adjacency": payload["adjacency"],
+    }
+
+
+def _worker_teardown(state: dict[str, Any]) -> None:
+    """Release every view over the mapping, then close it."""
+    state["labels"].release_views()
+    try:
+        state["segment"].close()
+    except BufferError:  # pragma: no cover - stray export; mapping dies with us
+        pass
+
+
+def _apply_weight_deltas(
+    adjacency: dict[int, list[tuple[int, float]]],
+    deltas: Sequence[tuple[int, int, float]],
 ) -> None:
-    """Overwrite the (u, v) weight in both private adjacency rows."""
-    for a, b in ((u, v), (v, u)):
-        row = adjacency[a]
-        for pos, (nbr, _) in enumerate(row):
-            if nbr == b:
-                row[pos] = (b, weight)
-                break
+    """Replay absolute-weight writes into the owned adjacency mirror.
+
+    Rows for unowned endpoints are simply absent from the mirror and
+    skipped; replaying a delta twice is a no-op by construction.
+    """
+    for a, b, weight in deltas:
+        for x, y in ((a, b), (b, a)):
+            row = adjacency.get(x)
+            if row is None:
+                continue
+            for pos, (nbr, _) in enumerate(row):
+                if nbr == y:
+                    row[pos] = (y, weight)
+                    break
+
+
+def _worker_sync(state: dict[str, Any], task: dict[str, Any]) -> None:
+    """Bring the adjacency mirror up to date from a sync payload."""
+    rows = task.get("adjacency")
+    if rows is not None:
+        state["adjacency"] = rows
+    else:
+        _apply_weight_deltas(state["adjacency"], task["weight_deltas"])
 
 
 def _worker_mark_phase(state: dict[str, Any]) -> dict[str, Any]:
@@ -159,27 +256,21 @@ def _worker_mark_phase(state: dict[str, Any]) -> dict[str, Any]:
     return {"marks": marks, "escapes": escapes, "counters": counters}
 
 
-def _worker_decrease_phase(
-    state: dict[str, Any], patches: list[tuple[int, int, float]]
-) -> dict[str, Any]:
+def _worker_decrease_phase(state: dict[str, Any]) -> dict[str, Any]:
     """Confined shared-frontier pass over the worker's shard decreases.
 
-    ``patches`` carries the owned entries the coordinator's combined
-    increase repair changed, so the pass starts from the same post-increase
-    label state the serial engine's decrease half would see.
+    Label writes go straight into the shared mapping -- only rows of owned
+    vertices, which no other process touches during this phase.  The
+    starting state is the coordinator's post-increase repair, already
+    visible through the mapping; the adjacency mirror was synced with this
+    batch's weight writes by the accompanying sync payload.
     """
     owned = state["owned_set"]
     tau = state["tau"]
     adjacency = state["adjacency"]
     labels = state["labels"]
-    for v, i, value in patches:
-        labels[v][i] = value
-    for u, v, _old, new in state["increases"]:
-        _set_row_weight(adjacency, u, v, new)
-    for u, v, _old, new in state["decreases"]:
-        _set_row_weight(adjacency, u, v, new)
 
-    contexts: list[tuple[int, list[float], list[_Escape]]] = []
+    contexts: list[tuple[int, Any, list[_Escape]]] = []
     by_root: dict[int, int] = {}
     for u, v, _old, new in state["decreases"]:
         a, b = _oriented(tau, u, v)
@@ -195,17 +286,18 @@ def _worker_decrease_phase(
     counters = [0, 0, 0]
     escapes: list[tuple[int, float, int, int, int]] = []
     shared_frontier_relax(adjacency, tau, labels, contexts, counters, owned=owned, escapes=escapes)
-    return {"labels": labels, "escapes": escapes, "counters": counters}
+    return {"escapes": escapes, "counters": counters}
 
 
 def _region_worker_main(conn: Any) -> None:
     """Worker process main loop: two request/reply rounds per batch.
 
-    Messages: ``("batch", state)`` loads a batch's owned slices and runs the
-    mark phase; ``("decreases", patches)`` runs the decrease phase on the
-    previously loaded state; ``("exit",)`` terminates.  Any exception is
-    reported back as ``("error", traceback)`` so the coordinator can raise
-    instead of hanging.
+    Messages: ``("init", payload)`` maps the shared label segment and the
+    owned adjacency mirror once, at pool startup; ``("batch", task)`` syncs
+    weight deltas and runs the mark phase; ``("decreases", sync)`` applies
+    this batch's weight writes and runs the decrease phase; ``("exit",)``
+    unmaps and terminates.  Any exception is reported back as
+    ``("error", traceback)`` so the coordinator can raise instead of hanging.
     """
     state: dict[str, Any] | None = None
     while True:
@@ -215,16 +307,26 @@ def _region_worker_main(conn: Any) -> None:
             break
         kind = message[0]
         if kind == "exit":
+            if state is not None:
+                _worker_teardown(state)
             break
         try:
-            if kind == "batch":
-                state = message[1]
-                state["owned_set"] = set(state["owned"])
+            if kind == "init":
+                state = _worker_init(message[1])
+                conn.send(("ok", None))
+            elif kind == "batch":
+                if state is None:
+                    raise RuntimeError("batch received before init")
+                task = message[1]
+                _worker_sync(state, task)
+                state["increases"] = task["increases"]
+                state["decreases"] = task["decreases"]
                 conn.send(("ok", _worker_mark_phase(state)))
             elif kind == "decreases":
                 if state is None:
-                    raise RuntimeError("decrease round received before batch state")
-                conn.send(("ok", _worker_decrease_phase(state, message[1])))
+                    raise RuntimeError("decrease round received before init")
+                _worker_sync(state, message[1])
+                conn.send(("ok", _worker_decrease_phase(state)))
             else:
                 raise RuntimeError(f"unknown worker message {kind!r}")
         except BaseException:
@@ -296,7 +398,7 @@ def _pick_start_method(requested: str | None) -> str:
 
 
 class ProcessShardBackend:
-    """Worker-process batch maintenance with partitioned label ownership.
+    """Worker-process batch maintenance on a shared label mapping.
 
     Implements the same backend surface as
     :class:`repro.core.shard.ShardedBatchEngine` (``apply`` /
@@ -305,15 +407,24 @@ class ProcessShardBackend:
     (fewer than two populated shards) handed wholesale to the serial
     engine before any worker is spawned.
 
-    Workers are created lazily on the first non-degenerate batch and stay
-    bound to their planner regions until :meth:`close` (regions are
-    topology-only, so the assignment never goes stale).  ``max_workers``
-    caps the pool; with fewer workers than regions, a worker owns several
-    regions -- sound, because regions only touch through the separator, so
-    confinement over the union behaves exactly like per-region confinement.
+    Workers are created lazily on the first non-degenerate batch; pool
+    startup moves the labels into one shared-memory segment
+    (``segment_name``) that every worker maps, and ships each worker its
+    owned adjacency rows once.  After that, batches ship only update
+    records and weight deltas.  Workers stay bound to their planner
+    regions until :meth:`close` (regions are topology-only, so the
+    assignment never goes stale); ``close`` detaches the labels back onto
+    private memory and unlinks the segment.  ``max_workers`` caps the
+    pool; with fewer workers than regions, a worker owns several regions
+    -- sound, because regions only touch through the separator, so
+    confinement over the union behaves exactly like per-region
+    confinement.
     """
 
     name = "process"
+
+    #: Distinguishes segments of multiple live backends in one process.
+    _segment_counter = itertools.count()
 
     def __init__(
         self,
@@ -336,10 +447,21 @@ class ProcessShardBackend:
         self._increase = ParetoSearchIncrease(graph, hierarchy, labels)
         self._workers: list[_RegionWorker] | None = None
         self._worker_of_region: list[int] = []
+        self._owned_sets: list[set[int]] = []
+        self._shm: shared_memory.SharedMemory | None = None
+        self._segment_name: str | None = None
+        # Per-worker adjacency-mirror cursors into the graph's write log.
+        self._sync_positions: list[int] = []
+        self._sync_structures: list[int] = []
 
     # ------------------------------------------------------------------ #
     # Pool lifecycle
     # ------------------------------------------------------------------ #
+
+    @property
+    def segment_name(self) -> str | None:
+        """Name of the live shared-memory segment (``None`` when closed)."""
+        return self._segment_name if self._shm is not None else None
 
     def _ensure_workers(self, max_workers: int | None) -> list[_RegionWorker]:
         regions, _ = self.planner.regions()
@@ -352,27 +474,131 @@ class ProcessShardBackend:
         count = max(1, min(len(regions), requested))
         if self._workers is not None and len(self._workers) != count:
             # A conflicting explicit request resizes the pool rather than
-            # being silently ignored; region ownership is re-derived from
-            # the new count, so the next batch ships consistent slices.
+            # being silently ignored; region ownership and the shared
+            # segment are rebuilt from scratch for the new count.
             self.close()
         if self._workers is None:
-            self._workers = [_RegionWorker(self._context, k) for k in range(count)]
-            self._worker_of_region = [rid % count for rid in range(len(regions))]
+            self._start_pool(regions, count)
+        assert self._workers is not None
         return self._workers
 
+    def _start_pool(self, regions: Sequence[Sequence[int]], count: int) -> None:
+        """Create the shared segment, spawn workers, ship residency state."""
+        num_entries = self.labels.num_entries()
+        name = f"repro-stl-{os.getpid()}-{next(self._segment_counter)}"
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, num_entries * ENTRY_BYTES)
+        )
+        try:
+            self.labels.share_into(shm.buf[: num_entries * ENTRY_BYTES].cast("d"))
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        self._shm = shm
+        self._segment_name = name
+
+        self._worker_of_region = [rid % count for rid in range(len(regions))]
+        owned_lists: list[list[int]] = [[] for _ in range(count)]
+        for rid, region in enumerate(regions):
+            owned_lists[rid % count].extend(region)
+        self._owned_sets = [set(owned) for owned in owned_lists]
+
+        adjacency = self.graph.adjacency()
+        offsets_bytes = self.labels.offsets.tobytes()
+        tau = list(self.hierarchy.tau)
+        position = self.graph.weight_log_position()
+        structure = self.graph.structure_version
+        self._workers = [_RegionWorker(self._context, k) for k in range(count)]
+        try:
+            for k, worker in enumerate(self._workers):
+                worker.send(
+                    (
+                        "init",
+                        {
+                            "segment": name,
+                            "num_entries": num_entries,
+                            "offsets": offsets_bytes,
+                            "tau": tau,
+                            "owned": owned_lists[k],
+                            "adjacency": {v: list(adjacency[v]) for v in owned_lists[k]},
+                        },
+                    )
+                )
+            for worker in self._workers:
+                worker.recv(self.reply_timeout)
+        except BaseException:
+            self.close()
+            raise
+        self._sync_positions = [position] * count
+        self._sync_structures = [structure] * count
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; workers are daemonic)."""
+        """Shut the pool down and unlink the shared segment (idempotent)."""
         if self._workers is not None:
             for worker in self._workers:
                 worker.close()
             self._workers = None
             self._worker_of_region = []
+            self._owned_sets = []
+            self._sync_positions = []
+            self._sync_structures = []
+        if self._shm is not None:
+            self.labels.unshare()
+            try:
+                self._shm.close()
+            except BufferError:  # pragma: no cover - foreign export still live
+                pass
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+            self._shm = None
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
             self.close()
         except Exception:
             pass
+
+    # ------------------------------------------------------------------ #
+    # Delta shipping
+    # ------------------------------------------------------------------ #
+
+    def _sync_payload(self, widx: int, stats: MaintenanceStats) -> dict[str, Any]:
+        """Weight deltas (or a full row resync) for one worker's mirror.
+
+        Advances the worker's cursor to the present; absolute weights make
+        re-shipping across overlapping payloads harmless.
+        """
+        graph = self.graph
+        changes: list[tuple[int, int, float]] | None
+        if self._sync_structures[widx] != graph.structure_version:
+            changes = None  # topology changed; the delta log cannot express it
+        else:
+            changes = graph.weight_changes_since(self._sync_positions[widx])
+        owned = self._owned_sets[widx]
+        payload: dict[str, Any]
+        if changes is None:
+            adjacency = graph.adjacency()
+            payload = {
+                "adjacency": {v: list(adjacency[v]) for v in sorted(owned)},
+                "weight_deltas": [],
+            }
+            stats.extra["adjacency_resyncs"] = stats.extra.get("adjacency_resyncs", 0) + 1
+        else:
+            merged: dict[tuple[int, int], float] = {}
+            for a, b, weight in changes:
+                if a in owned or b in owned:
+                    merged[(a, b)] = weight
+            deltas = [(a, b, weight) for (a, b), weight in merged.items()]
+            payload = {"weight_deltas": deltas}
+            stats.extra["shipped_weight_deltas"] = (
+                stats.extra.get("shipped_weight_deltas", 0) + len(deltas)
+            )
+        self._sync_positions[widx] = graph.weight_log_position()
+        self._sync_structures[widx] = graph.structure_version
+        return payload
 
     # ------------------------------------------------------------------ #
     # Batch application
@@ -400,13 +626,14 @@ class ProcessShardBackend:
             return stats
 
         workers = self._ensure_workers(max_workers)
-        tasks = self._build_tasks(plan, workers)
+        tasks = self._build_tasks(plan)
         stats.extra["process_workers"] = len(tasks)
 
         try:
-            # Round 1 (parallel): confined increase marks on the pre-batch
-            # state.
+            # Round 1 (parallel): sync mirrors to the pre-batch state, then
+            # confined increase marks.
             for widx, task in tasks.items():
+                task.update(self._sync_payload(widx, stats))
                 workers[widx].send(("batch", task))
             mark_replies = {widx: workers[widx].recv(self.reply_timeout) for widx in tasks}
 
@@ -417,24 +644,24 @@ class ProcessShardBackend:
                 if u.kind is UpdateKind.INCREASE
             ]
             if sharded_increases:
-                stats.merge(self._finish_increases(updates, plan, tasks, mark_replies))
+                stats.merge(self._finish_increases(updates, plan, mark_replies))
             for widx, reply in mark_replies.items():
                 self._merge_counters(stats, reply["counters"])
                 stats.extra["mark_escapes"] = stats.extra.get("mark_escapes", 0) + len(
                     reply["escapes"]
                 )
 
-            # Round 2 (parallel): confined decrease frontiers on the
-            # post-increase state, then ownership merge + escape settlement.
+            # Round 2 (parallel): confined decrease frontiers writing owned
+            # rows into the shared mapping, then escape settlement.
             decrease_tasks = {widx: task for widx, task in tasks.items() if task["decreases"]}
             if decrease_tasks:
-                stats.merge(self._run_decreases(tasks, decrease_tasks, workers))
+                stats.merge(self._run_decreases(decrease_tasks, workers, stats))
         except BaseException:
             # A failed or timed-out round leaves replies of this batch
             # buffered in the pipes; a retry against the same pool would
             # consume them as the *next* batch's replies and silently
             # corrupt labels.  Tear the pool down so the next apply() starts
-            # from freshly spawned workers.
+            # from freshly spawned workers (and a fresh segment).
             self.close()
             raise
 
@@ -448,12 +675,8 @@ class ProcessShardBackend:
     # Task construction
     # ------------------------------------------------------------------ #
 
-    def _build_tasks(
-        self, plan: ShardPlan, workers: list[_RegionWorker]
-    ) -> dict[int, dict[str, Any]]:
-        """One shipping payload per worker that has a populated region."""
-        adjacency = self.graph.adjacency()
-        tau = self.hierarchy.tau
+    def _build_tasks(self, plan: ShardPlan) -> dict[int, dict[str, Any]]:
+        """Per-worker update records; labels and adjacency are resident."""
         tasks: dict[int, dict[str, Any]] = {}
         for rid, shard in enumerate(plan.shards):
             if not len(shard):
@@ -461,19 +684,7 @@ class ProcessShardBackend:
             widx = self._worker_of_region[rid]
             task = tasks.get(widx)
             if task is None:
-                task = tasks[widx] = {
-                    "owned": [],
-                    "tau": tau,
-                    "adjacency": {},
-                    "labels": {},
-                    "increases": [],
-                    "decreases": [],
-                }
-            region = plan.regions[rid]
-            task["owned"].extend(region)
-            for v in region:
-                task["adjacency"][v] = list(adjacency[v])
-            task["labels"].update(slice_labels(self.labels, region))
+                task = tasks[widx] = {"increases": [], "decreases": []}
             for u in shard:
                 record = (u.u, u.v, u.old_weight, u.new_weight)
                 if u.kind is UpdateKind.INCREASE:
@@ -490,7 +701,6 @@ class ProcessShardBackend:
         self,
         updates: Sequence[EdgeUpdate],
         plan: ShardPlan,
-        tasks: dict[int, dict[str, Any]],
         mark_replies: dict[int, Any],
     ) -> MaintenanceStats:
         stats = MaintenanceStats()
@@ -552,23 +762,10 @@ class ProcessShardBackend:
         for update in increase_order:
             self.graph.set_weight(update.u, update.v, update.new_weight)
         if affected:
+            # The repair writes through the shared mapping, so workers start
+            # their decrease phase from the post-increase state without any
+            # entries being shipped.
             stats.merge(self._increase.bump_and_repair(affected))
-
-        # Record the owned entries the combined repair may have changed, so
-        # the decrease round starts from the post-increase state.  The
-        # repair only ever writes entries present in the bump map, so the
-        # patch set is exactly the affected owned entries.
-        owner_of: dict[int, int] = {}
-        for widx, task in tasks.items():
-            for v in task["owned"]:
-                owner_of[v] = widx
-        for v, levels in affected.items():
-            widx = owner_of.get(v)
-            if widx is None:
-                continue
-            patches = tasks[widx].setdefault("patches", [])
-            label_v = self.labels[v]
-            patches.extend((v, i, label_v[i]) for i in levels)
 
         stats.heap_pushes += counters[0]
         stats.labels_changed += counters[1]
@@ -580,24 +777,23 @@ class ProcessShardBackend:
 
     def _run_decreases(
         self,
-        tasks: dict[int, dict[str, Any]],
         decrease_tasks: dict[int, dict[str, Any]],
         workers: list[_RegionWorker],
+        batch_stats: MaintenanceStats,
     ) -> MaintenanceStats:
         stats = MaintenanceStats()
-        for widx, task in decrease_tasks.items():
-            workers[widx].send(("decreases", task.get("patches", [])))
-        # All sharded decrease weights go into the master graph while the
-        # workers run; the settlement pass and the residual engine then see
-        # the same graph the workers' private rows describe.
+        # All sharded decrease weights go into the master graph first, so
+        # the sync payloads below carry them to the workers that relax them
+        # (and, via later syncs, to everyone else).
         for task in decrease_tasks.values():
             for u, v, _old, new in task["decreases"]:
                 self.graph.set_weight(u, v, new)
+        for widx in decrease_tasks:
+            workers[widx].send(("decreases", self._sync_payload(widx, batch_stats)))
 
         escape_seeds: dict[int, list[_Escape]] = {}
         for widx in sorted(decrease_tasks):
             reply = workers[widx].recv(self.reply_timeout)
-            merge_label_slices(self.labels, reply["labels"], owned=tasks[widx]["owned"])
             for root, d, mn, v, mx in reply["escapes"]:
                 escape_seeds.setdefault(root, []).append((d, mn, v, mx))
             self._merge_counters(stats, reply["counters"])

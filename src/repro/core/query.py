@@ -5,6 +5,11 @@ returns the minimum of ``L(s)[i] + L(t)[i]``.  The number of entries to scan
 is obtained in O(1) from the partition bitstrings (the level of the lowest
 common ancestor), exactly as in Section 4 of the paper; the entries scanned
 are consecutive in both arrays, which is what makes the query cache-friendly.
+
+With the CSR label store the two prefixes are located by pure offset
+arithmetic on the flat entries buffer -- ``view[offsets[v] : offsets[v] +
+prefix]`` -- so a query touches two contiguous runs of C doubles and never
+materialises a row object.
 """
 
 from __future__ import annotations
@@ -49,12 +54,18 @@ def query_distance(
     prefix = hierarchy.num_common_ancestors(s, t)
     if prefix <= 0:
         return UNREACHABLE
-    label_s = labels[s]
-    label_t = labels[t]
-    # The common-ancestor entries are a consecutive prefix of both arrays, so
-    # the scan is a single pass over two slices (the paper's cache-friendly
-    # query layout); min over a generator keeps the loop in C.
-    return min(a + b for a, b in zip(label_s[:prefix], label_t[:prefix]))
+    entries = labels.view
+    offsets = labels.offsets
+    base_s = offsets[s]
+    base_t = offsets[t]
+    # The common-ancestor entries are a consecutive prefix of both rows, so
+    # the scan is a single pass over two zero-copy slices of the flat buffer
+    # (the paper's cache-friendly query layout); min over a generator keeps
+    # the loop in C.
+    return min(
+        a + b
+        for a, b in zip(entries[base_s : base_s + prefix], entries[base_t : base_t + prefix])
+    )
 
 
 def query_with_hub(
@@ -74,12 +85,14 @@ def query_with_hub(
     if s == t:
         return 0.0, -1
     prefix = hierarchy.num_common_ancestors(s, t)
-    label_s = labels[s]
-    label_t = labels[t]
+    entries = labels.view
+    offsets = labels.offsets
+    base_s = offsets[s]
+    base_t = offsets[t]
     best = UNREACHABLE
     hub = -1
     for i in range(prefix):
-        candidate = label_s[i] + label_t[i]
+        candidate = entries[base_s + i] + entries[base_t + i]
         if candidate < best:
             best = candidate
             hub = i

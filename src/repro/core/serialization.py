@@ -8,13 +8,15 @@ without their road network are not useful), so ``load_labelling`` takes the
 graph as an argument and validates vertex counts.
 
 Besides the JSON checkpoint format, this module hosts the *per-region label
-slicing* used by the process-pool shard backend
-(:mod:`repro.core.parallel`): a worker process receives the label rows of
-exactly the vertices it owns (:func:`slice_labels`), mutates its private
-copies, and the coordinator merges the rows back by ownership
+slicing* kept as the interchange format for label rows: a caller receives
+copies of the rows of exactly the vertices it asks for (:func:`slice_labels`),
+mutates them freely, and merges them back by ownership
 (:func:`merge_label_slices`).  Slices are plain ``dict[int, list[float]]``
-so they pickle cheaply and losslessly -- the process backend silently
-depends on that round-trip, which the serialization tests pin down.
+so they pickle cheaply and losslessly.  The process-pool shard backend no
+longer ships slices per batch (workers are resident on a shared-memory
+mapping, see :mod:`repro.core.parallel`), but slicing remains the baseline
+that the shipping-cost calibration (:mod:`repro.core.calibration`) measures
+against, and tools still use it for row-level surgery.
 """
 
 from __future__ import annotations
@@ -22,18 +24,23 @@ from __future__ import annotations
 import json
 import math
 import os
+from array import array
 from typing import Iterable, Mapping, TextIO
 
 from repro.core.labelling import STLLabels
 from repro.core.stl import StableTreeLabelling
 from repro.graph.graph import Graph
 from repro.hierarchy.tree import StableTreeHierarchy
-from repro.utils.errors import SerializationError
+from repro.utils.errors import LabellingError, SerializationError
 
-#: Version 2 added ``construction_seconds``; version-1 payloads (without the
-#: field) are still readable and report a construction time of 0.0.
-FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+#: Version 2 added ``construction_seconds``; version 3 stores the labels as
+#: one flat entries buffer plus a CSR offsets array (``labels_flat`` /
+#: ``label_offsets``) instead of nested per-vertex lists.  Old payloads of
+#: either shape are still readable: version 1 (no ``construction_seconds``)
+#: reports a construction time of 0.0, and the decoder branches on which
+#: label keys are present rather than on the version number.
+FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 _INF_SENTINEL = -1.0
 
 
@@ -64,9 +71,8 @@ def serialize_labelling(stl: StableTreeLabelling) -> dict:
             }
             for node in hierarchy.nodes
         ],
-        "labels": [
-            [_encode_distance(d) for d in label] for label in stl.labels.labels
-        ],
+        "label_offsets": list(stl.labels.offsets),
+        "labels_flat": [_encode_distance(d) for d in stl.labels.view],
     }
 
 
@@ -84,7 +90,20 @@ def deserialize_labelling(payload: dict, graph: Graph) -> StableTreeLabelling:
         node = hierarchy.add_node(entry["parent"], entry["is_right"])
         hierarchy.assign_vertices(node, entry["vertices"])
     hierarchy.finalize()
-    labels = STLLabels([[_decode_distance(d) for d in label] for label in payload["labels"]])
+    if "labels_flat" in payload:
+        try:
+            labels = STLLabels.from_flat(
+                array("d", (_decode_distance(d) for d in payload["labels_flat"])),
+                array("q", payload["label_offsets"]),
+            )
+        except (LabellingError, OverflowError, TypeError, ValueError) as exc:
+            raise SerializationError(f"malformed flat label store: {exc}") from exc
+    else:
+        labels = STLLabels([[_decode_distance(d) for d in label] for label in payload["labels"]])
+    if len(labels) != num_vertices:
+        raise SerializationError(
+            f"payload stores labels for {len(labels)} vertices, expected {num_vertices}"
+        )
     for v in range(num_vertices):
         if len(labels[v]) != hierarchy.tau[v] + 1:
             raise SerializationError(
@@ -107,10 +126,11 @@ def deserialize_labelling(payload: dict, graph: Graph) -> StableTreeLabelling:
 def slice_labels(labels: STLLabels, vertices: Iterable[int]) -> dict[int, list[float]]:
     """Copy the label rows of ``vertices`` into a pickle-friendly dict.
 
-    The rows are *copies*: a worker process mutates its slice freely without
-    the coordinator observing partial states, which is what makes the
-    ownership model of :class:`repro.core.parallel.ProcessShardBackend`
-    race-free by construction.
+    The rows are *copies*: the caller mutates its slice freely without the
+    index observing partial states.  This was the per-batch shipping format
+    of the process backend before workers became shared-memory resident; it
+    is kept as the slice-shipping baseline the calibration helper measures
+    delta shipping against.
     """
     return {v: list(labels[v]) for v in vertices}
 
@@ -145,7 +165,7 @@ def merge_label_slices(
                 f"label slice for vertex {v} has {len(row)} entries, "
                 f"index stores {len(labels[v])}"
             )
-        labels.labels[v][:] = row
+        labels.set_row(v, row)
         written += 1
     return written
 

@@ -320,12 +320,13 @@ class StableTreeLabelling:
         """Apply ``net`` to the graph and rebuild the labels from scratch.
 
         The hierarchy is weight-independent, so only the labels are
-        recomputed; the label object is mutated in place to keep the
-        maintenance engines (which hold a reference to it) valid.
+        recomputed; the label buffer is overwritten in place to keep the
+        maintenance engines (which hold a reference to it) -- and any
+        resident worker processes mapping its shared buffer -- valid.
         """
         for update in net:
             self.graph.set_weight(update.u, update.v, update.new_weight)
-        self.labels.labels[:] = build_labels(self.graph, self.hierarchy).labels
+        self.labels.load_from(build_labels(self.graph, self.hierarchy))
         stats = MaintenanceStats(updates_processed=len(net))
         stats.extra["rebuild_fallback"] = 1
         return stats

@@ -45,7 +45,15 @@ class Graph:
     	road networks and would complicate the maintenance algorithms.
     """
 
-    __slots__ = ("_adjacency", "_edge_index", "_coordinates", "_num_edges")
+    __slots__ = (
+        "_adjacency",
+        "_edge_index",
+        "_coordinates",
+        "_num_edges",
+        "_weight_log",
+        "_log_start",
+        "_structure_version",
+    )
 
     def __init__(self, num_vertices: int, coordinates: Sequence[tuple[float, float]] | None = None):
         if num_vertices < 0:
@@ -54,6 +62,11 @@ class Graph:
         # (u, v) with u < v  ->  position of v in adjacency[u]
         self._edge_index: dict[tuple[int, int], int] = {}
         self._num_edges = 0
+        # Bounded log of weight writes, consumed by observers (the resident
+        # process-pool workers) that mirror adjacency state incrementally.
+        self._weight_log: list[tuple[int, int, float]] = []
+        self._log_start = 0
+        self._structure_version = 0
         if coordinates is not None:
             coordinates = [(float(x), float(y)) for x, y in coordinates]
             if len(coordinates) != num_vertices:
@@ -114,6 +127,7 @@ class Graph:
         self._adjacency[u].append((v, weight))
         self._adjacency[v].append((u, weight))
         self._num_edges += 1
+        self._structure_version += 1
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the undirected edge ``(u, v)`` exists."""
@@ -138,6 +152,7 @@ class Graph:
         a, b = key
         pos = self._edge_index[key]
         self._adjacency[a][pos] = (b, weight)
+        self._log_weight_write(a, b, weight)
         # The reverse entry has to be located by scanning b's adjacency once;
         # road networks have tiny degrees so the scan is effectively O(1).
         adj_b = self._adjacency[b]
@@ -146,6 +161,17 @@ class Graph:
                 adj_b[i] = (a, weight)
                 return
         raise AssertionError("edge index out of sync with adjacency lists")
+
+    def _log_weight_write(self, a: int, b: int, weight: float) -> None:
+        log = self._weight_log
+        log.append((a, b, weight))
+        # Keep the log bounded: once it outgrows the graph itself, drop the
+        # older half.  Observers whose cursor falls before the trimmed start
+        # get ``None`` from :meth:`weight_changes_since` and must resync.
+        if len(log) > max(256, 2 * self._num_edges):
+            drop = len(log) // 2
+            del log[:drop]
+            self._log_start += drop
 
     def set_weight(self, u: int, v: int, weight: float) -> float:
         """Set the weight of an existing edge and return the previous weight.
@@ -166,6 +192,43 @@ class Graph:
         old_weight = self._adjacency[key[0]][pos][1]
         self._set_weight_by_key(key, new_weight)
         return old_weight
+
+    # ------------------------------------------------------------------ #
+    # Change log (incremental adjacency mirroring)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def structure_version(self) -> int:
+        """Counter bumped whenever a *new* edge is added.
+
+        Weight writes never change it.  An observer mirroring the adjacency
+        (a resident worker process) compares the version it last saw against
+        the current one: a mismatch means the topology changed, so the
+        weight-delta log alone cannot bring its mirror up to date and a full
+        resync of the affected rows is required.
+        """
+        return self._structure_version
+
+    def weight_log_position(self) -> int:
+        """Monotone cursor over all weight writes ever applied.
+
+        Capture it before handing adjacency state to an observer; later,
+        :meth:`weight_changes_since` returns exactly the writes that happened
+        after the capture.
+        """
+        return self._log_start + len(self._weight_log)
+
+    def weight_changes_since(self, position: int) -> list[tuple[int, int, float]] | None:
+        """Weight writes applied since ``position``, oldest first.
+
+        Each item is ``(u, v, weight)`` with ``u < v`` -- the *absolute* new
+        weight, so replaying a change twice is idempotent.  Returns ``None``
+        when the log has been trimmed past ``position`` (the caller must
+        resync from the full adjacency instead).
+        """
+        if position < self._log_start:
+            return None
+        return self._weight_log[position - self._log_start :]
 
     # ------------------------------------------------------------------ #
     # Neighbour access

@@ -1,0 +1,84 @@
+"""Unit tests for the shipping-cost calibration helper."""
+
+import pytest
+
+from repro.core.calibration import (
+    ShippingCalibration,
+    ShippingMeasurement,
+    calibrate_shipping,
+)
+from repro.core.labelling import build_labels
+from repro.core.shard import ShardPlanner
+from repro.hierarchy.builder import HierarchyOptions, build_hierarchy
+
+
+@pytest.fixture(scope="module")
+def calibrated():
+    from repro.graph.generators import grid_road_network
+
+    graph = grid_road_network(8, 8, seed=7)
+    hierarchy = build_hierarchy(graph, HierarchyOptions(leaf_size=8))
+    labels = build_labels(graph, hierarchy)
+    planner = ShardPlanner(graph, num_shards=4)
+    return calibrate_shipping(
+        graph, labels, planner=planner, batch_sizes=(16, 32), rounds=1
+    )
+
+
+def test_measurements_cover_requested_sizes(calibrated):
+    assert len(calibrated.measurements) == 2
+    # Coalescing can shrink a batch but sizes stay ordered and positive.
+    sizes = [m.updates for m in calibrated.measurements]
+    assert all(s > 0 for s in sizes)
+    assert sizes == sorted(sizes)
+
+
+def test_delta_shipping_moves_fewer_bytes(calibrated):
+    """The headline claim: resident deltas are far smaller than label slices."""
+    for m in calibrated.measurements:
+        assert m.delta_bytes < m.slice_bytes
+        assert m.bytes_ratio > 1.0
+        # Timing is load-dependent so only sanity-check it, not the ratio.
+        assert m.slice_seconds > 0.0
+        assert m.delta_seconds > 0.0
+
+
+def test_as_dict_is_json_friendly(calibrated):
+    import json
+
+    payload = calibrated.as_dict()
+    json.dumps(payload)
+    assert len(payload["measurements"]) == len(calibrated.measurements)
+    first = payload["measurements"][0]
+    assert set(first) == {
+        "updates",
+        "slice_bytes",
+        "slice_seconds",
+        "delta_bytes",
+        "delta_seconds",
+        "bytes_ratio",
+        "seconds_ratio",
+    }
+
+
+def test_recommended_min_updates_picks_smallest_qualifying():
+    calibration = ShippingCalibration(
+        measurements=(
+            ShippingMeasurement(10, 100_000, 0.01, 1_000, 0.005),
+            ShippingMeasurement(100, 100_000, 0.01, 2_000, 0.0001),
+            ShippingMeasurement(1000, 100_000, 0.01, 5_000, 0.0001),
+        )
+    )
+    # With 1 ms of serial work per update, a 100-update batch amortises the
+    # fixed overhead (0.0001 s + 2 round trips) within the 10% budget; the
+    # 10-update batch does not (0.005 s + 0.001 s > 0.001 s).
+    assert calibration.recommended_min_updates(0.001) == 100
+
+
+def test_recommended_min_updates_falls_back_beyond_largest():
+    calibration = ShippingCalibration(
+        measurements=(ShippingMeasurement(10, 1_000, 1.0, 500, 1.0),)
+    )
+    # Nothing qualifies under an absurdly cheap per-update cost: fall back
+    # to twice the largest measured size.
+    assert calibration.recommended_min_updates(1e-9) == 20

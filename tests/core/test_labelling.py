@@ -117,3 +117,114 @@ def test_labels_on_disconnected_graph_use_inf():
     has_inf = any(math.isinf(d) for label in labels.labels for d in label)
     # Vertices in one component cannot reach ancestors placed in the other.
     assert has_inf or hierarchy.height <= 2
+
+
+class TestCSRStore:
+    """The contiguous flat store behind STLLabels (entries + offsets)."""
+
+    def test_view_and_offsets_are_consistent(self, built):
+        _, _, labels = built
+        entries = labels.view
+        offsets = labels.offsets
+        assert offsets[0] == 0
+        assert offsets[-1] == len(entries) == labels.num_entries()
+        for v in range(len(labels)):
+            row = list(labels[v])
+            assert row == list(entries[offsets[v] : offsets[v + 1]])
+
+    def test_rows_write_through_to_flat_view(self, built):
+        _, _, labels = built
+        labels[0][0] = 42.5
+        assert labels.view[labels.offsets[0]] == 42.5
+
+    def test_store_bytes(self, built):
+        from repro.core.labelling import ENTRY_BYTES, OFFSET_BYTES
+
+        _, _, labels = built
+        expected = labels.num_entries() * ENTRY_BYTES + (len(labels) + 1) * OFFSET_BYTES
+        assert labels.store_bytes() == expected
+
+    def test_from_flat_round_trip(self, built):
+        from array import array
+
+        from repro.core.labelling import STLLabels
+
+        _, _, labels = built
+        rebuilt = STLLabels.from_flat(
+            array("d", labels.view), array("q", labels.offsets)
+        )
+        assert labels.equals(rebuilt)
+
+    def test_from_flat_rejects_bad_offsets(self):
+        from array import array
+
+        from repro.core.labelling import STLLabels
+
+        entries = array("d", [0.0, 1.0, 2.0])
+        with pytest.raises(LabellingError):
+            STLLabels.from_flat(entries, array("q", [1, 3]))  # offsets[0] != 0
+        with pytest.raises(LabellingError):
+            STLLabels.from_flat(entries, array("q", [0, 2]))  # offsets[-1] != len
+        with pytest.raises(LabellingError):
+            STLLabels.from_flat(entries, array("q", [0, 2, 1, 3]))  # decreasing
+
+    def test_set_row_requires_matching_length(self, built):
+        _, _, labels = built
+        with pytest.raises(LabellingError):
+            labels.set_row(0, [1.0] * (len(labels[0]) + 1))
+        labels.set_row(0, [7.0] * len(labels[0]))
+        assert list(labels[0]) == [7.0] * len(labels[0])
+
+    def test_share_and_unshare_round_trip(self, built):
+        from multiprocessing import shared_memory
+
+        from repro.core.labelling import ENTRY_BYTES
+
+        _, _, labels = built
+        before = [list(row) for row in labels.labels]
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, labels.num_entries() * ENTRY_BYTES)
+        )
+        try:
+            target = shm.buf[: labels.num_entries() * ENTRY_BYTES].cast("d")
+            labels.share_into(target)
+            assert labels.is_shared
+            # Writes land in the segment while shared.
+            labels[0][0] = 13.25
+            assert target[labels.offsets[0]] == 13.25
+            labels.unshare()
+            assert not labels.is_shared
+            del target
+        finally:
+            shm.close()
+            shm.unlink()
+        after = [list(row) for row in labels.labels]
+        before[0][0] = 13.25
+        assert after == before
+
+
+class TestDifferencesShapeMismatches:
+    """Regression: differences() must not zip-truncate unequal shapes."""
+
+    def test_extra_vertices_are_reported(self, built):
+        from repro.core.labelling import STLLabels
+
+        _, _, labels = built
+        shorter = STLLabels([list(labels[v]) for v in range(len(labels) - 2)])
+        diffs = labels.differences(shorter)
+        reported = {v for v, _, _, _ in diffs}
+        assert len(labels) - 2 in reported
+        assert len(labels) - 1 in reported
+        # Symmetric: the shorter side sees the same mismatches.
+        assert {v for v, _, _, _ in shorter.differences(labels)} == reported
+
+    def test_extra_row_entries_are_reported(self, built):
+        from repro.core.labelling import STLLabels
+
+        _, _, labels = built
+        rows = [list(labels[v]) for v in range(len(labels))]
+        rows[4] = rows[4] + [9.0]  # one extra trailing entry
+        longer = STLLabels(rows)
+        diffs = labels.differences(longer)
+        assert any(v == 4 and i == len(rows[4]) - 1 for v, i, _, _ in diffs)
+        assert not labels.equals(longer)

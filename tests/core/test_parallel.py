@@ -274,7 +274,11 @@ class TestBackendSelection:
         policy = BatchPolicy(process_min_updates=100)
         assert policy.backend_for(99) == "thread"
         assert policy.backend_for(100) == "process"
-        assert BatchPolicy().backend_for(10**6) == "thread"
+        # The calibrated default engages the process pool at 384 net
+        # updates (see BatchPolicy.process_min_updates); None disables it.
+        assert BatchPolicy().backend_for(383) == "thread"
+        assert BatchPolicy().backend_for(384) == "process"
+        assert BatchPolicy(process_min_updates=None).backend_for(10**6) == "thread"
 
     def test_apply_batch_parallel_process_end_to_end(self, small_grid):
         """``apply_batch(parallel="process")`` forces the process backend and
@@ -319,3 +323,148 @@ class TestBackendSelection:
         batch = random_mixed_batch(stl.graph, 5, seed=3)
         with pytest.raises(ValueError, match="pareto"):
             stl.apply_batch(batch, parallel="process")
+
+
+class TestSharedMemoryResidency:
+    """Lifecycle and delta-sync behaviour of the resident worker pool."""
+
+    def test_segment_exists_while_pool_lives_and_is_unlinked_on_close(
+        self, process_pair
+    ):
+        import os
+
+        serial, engine, par, backend = process_pair
+        assert backend.segment_name is None, "no segment before the first batch"
+        batch = random_mixed_batch(serial.graph, 50, seed=31)
+        engine.apply(batch.coalesce(serial.graph).updates)
+        backend.apply(batch.coalesce(par.graph).updates)
+        name = backend.segment_name
+        assert name is not None
+        assert os.path.exists(f"/dev/shm/{name}")
+        assert par.labels.is_shared
+        backend.close()
+        assert backend.segment_name is None
+        assert not os.path.exists(f"/dev/shm/{name}")
+        assert not par.labels.is_shared, "close() must copy labels back out"
+        assert serial.labels.equals(par.labels)
+
+    def test_pool_resize_unlinks_the_old_segment(self, process_pair):
+        import os
+
+        serial, engine, par, backend = process_pair
+        batch = random_mixed_batch(serial.graph, 50, seed=32)
+        engine.apply(batch.coalesce(serial.graph).updates)
+        backend.apply(batch.coalesce(par.graph).updates)
+        first = backend.segment_name
+        assert os.path.exists(f"/dev/shm/{first}")
+        batch = random_mixed_batch(serial.graph, 50, seed=33)
+        engine.apply(batch.coalesce(serial.graph).updates)
+        backend.apply(batch.coalesce(par.graph).updates, max_workers=1)
+        second = backend.segment_name
+        assert second != first
+        assert not os.path.exists(f"/dev/shm/{first}"), "old segment must be unlinked"
+        assert os.path.exists(f"/dev/shm/{second}")
+        assert serial.labels.equals(par.labels)
+
+    def test_stl_close_unlinks_every_segment(self, small_grid):
+        import os
+
+        serial, par = paired_indexes(small_grid)
+        par.batch_policy = BatchPolicy(rebuild_fraction=None, max_workers=WORKERS)
+        batch = random_mixed_batch(serial.graph, 60, seed=34)
+        serial.apply_batch(UpdateBatch(batch.updates), parallel="serial")
+        par.apply_batch(UpdateBatch(batch.updates), parallel="process")
+        name = par._process_backend.segment_name
+        assert name is not None and os.path.exists(f"/dev/shm/{name}")
+        par.close()
+        assert not os.path.exists(f"/dev/shm/{name}")
+        assert serial.labels.equals(par.labels)
+
+    def test_workers_survive_rounds_touching_no_owned_rows(self, process_pair):
+        """A round whose plan skips a worker (or the whole pool) must leave
+        the idle workers consistent: their next sync has to replay every
+        write they missed, including serial-path writes through the shared
+        labels."""
+        serial, engine, par, backend = process_pair
+        # Round 1: a global batch spawns the pool.
+        batch = random_mixed_batch(serial.graph, 60, seed=35)
+        engine.apply(batch.coalesce(serial.graph).updates)
+        backend.apply(batch.coalesce(par.graph).updates)
+        workers_after_round1 = backend._workers
+        assert workers_after_round1 is not None
+        assert serial.labels.equals(par.labels)
+        # Round 2: confine all updates to the edges inside one region; the
+        # plan degenerates (one populated shard) and runs serially, so every
+        # resident worker owns zero touched rows and receives no message.
+        regions, _ = backend.planner.regions()
+        target = max(regions, key=len)
+        inside = set(target)
+        local_edges = [
+            (u, v, w) for u, v, w in par.graph.edges() if u in inside and v in inside
+        ]
+        assert len(local_edges) >= 10, "need a populated region"
+        confined = UpdateBatch(
+            EdgeUpdate(u, v, w, round(w * 1.7, 3)) for u, v, w in local_edges[:20]
+        )
+        engine.apply(confined.coalesce(serial.graph).updates)
+        stats = backend.apply(confined.coalesce(par.graph).updates)
+        assert "process_workers" not in stats.extra, "confined round must run serially"
+        assert backend._workers is workers_after_round1, "idle pool must survive"
+        assert serial.labels.equals(par.labels)
+        # Round 3: a global batch again; the workers apply it from their
+        # delta-synced adjacency (catching up on round 2's serial writes).
+        batch = random_mixed_batch(serial.graph, 60, seed=36)
+        engine.apply(batch.coalesce(serial.graph).updates)
+        backend.apply(batch.coalesce(par.graph).updates)
+        assert backend._workers is workers_after_round1, "pool must not respawn"
+        assert serial.labels.equals(par.labels)
+        assert verify_labels(par.graph, par.hierarchy, par.labels) == []
+
+    def test_delta_sync_survives_interleaved_serial_updates(self, process_pair):
+        """Three mixed process rounds with per-update serial writes between
+        them: the interleaved writes go through the master graph only, so the
+        workers' resident adjacency must catch up via the weight log."""
+        serial, engine, par, backend = process_pair
+        rng = random.Random(36)
+        for round_ in range(3):
+            batch = random_mixed_batch(serial.graph, 50, seed=360 + round_)
+            engine.apply(batch.coalesce(serial.graph).updates)
+            backend.apply(batch.coalesce(par.graph).updates)
+            assert serial.labels.equals(par.labels)
+            # Interleave: single-edge updates applied through the serial
+            # engine path on BOTH indexes (the process pool never sees them
+            # except through the next round's weight-delta sync).
+            edges = list(serial.graph.edges())
+            for _ in range(5):
+                u, v, w = edges[rng.randrange(len(edges))]
+                new = round(rng.uniform(0.5, 40.0), 1)
+                for index in (serial, par):
+                    cur = index.graph.weight(u, v)
+                    single = UpdateBatch([EdgeUpdate(u, v, cur, new)])
+                    BatchedParetoEngine(
+                        index.graph, index.hierarchy, index.labels
+                    ).apply(single.coalesce(index.graph).updates)
+                edges = list(serial.graph.edges())
+            assert serial.labels.equals(par.labels)
+        assert verify_labels(par.graph, par.hierarchy, par.labels) == []
+
+    def test_trimmed_weight_log_forces_adjacency_resync(self, process_pair):
+        """If the master graph's write log overflows between rounds, the next
+        sync must fall back to a full adjacency resync (and stay exact)."""
+        serial, engine, par, backend = process_pair
+        batch = random_mixed_batch(serial.graph, 50, seed=37)
+        engine.apply(batch.coalesce(serial.graph).updates)
+        backend.apply(batch.coalesce(par.graph).updates)
+        # Overflow the bounded log with no-op weight rewrites on both graphs.
+        for graph in (serial.graph, par.graph):
+            edges = list(graph.edges())
+            bound = max(256, 2 * graph.num_edges)
+            for i in range(bound + 10):
+                u, v, w = edges[i % len(edges)]
+                graph.set_weight(u, v, graph.weight(u, v))
+        batch = random_mixed_batch(serial.graph, 50, seed=38)
+        engine.apply(batch.coalesce(serial.graph).updates)
+        stats = backend.apply(batch.coalesce(par.graph).updates)
+        assert stats.extra.get("adjacency_resyncs", 0) > 0
+        assert serial.labels.equals(par.labels)
+        assert verify_labels(par.graph, par.hierarchy, par.labels) == []

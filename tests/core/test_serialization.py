@@ -122,6 +122,32 @@ def test_version_1_payload_still_loads(stl):
     assert loaded.labels.equals(stl.labels)
 
 
+def test_version_2_nested_payload_still_loads(stl):
+    """Version-2 payloads carried nested per-vertex lists, not the flat store."""
+    payload = serialize_labelling(stl)
+    payload["format_version"] = 2
+    flat = payload.pop("labels_flat")
+    offsets = payload.pop("label_offsets")
+    payload["labels"] = [
+        flat[offsets[v] : offsets[v + 1]] for v in range(len(offsets) - 1)
+    ]
+    loaded = deserialize_labelling(payload, stl.graph)
+    assert loaded.labels.equals(stl.labels)
+    assert loaded.query(0, stl.graph.num_vertices - 1) == stl.query(
+        0, stl.graph.num_vertices - 1
+    )
+
+
+def test_corrupt_flat_payload_rejected(stl):
+    """A flat payload with inconsistent offsets raises SerializationError."""
+    payload = serialize_labelling(stl)
+    payload["label_offsets"] = payload["label_offsets"][:-1] + [
+        payload["label_offsets"][-1] + 1
+    ]
+    with pytest.raises(SerializationError):
+        deserialize_labelling(payload, stl.graph)
+
+
 # --------------------------------------------------------------------------- #
 # Pickle round-trips (the process shard backend silently depends on these)
 # --------------------------------------------------------------------------- #
@@ -175,6 +201,6 @@ def test_merge_label_slices_respects_ownership_and_shape(stl):
     before = list(stl.labels[foreign])
     written = merge_label_slices(stl.labels, {foreign: [0.0] * len(before)}, owned=regions[0])
     assert written == 0, "rows outside the ownership set must be ignored"
-    assert stl.labels[foreign] == before
+    assert list(stl.labels[foreign]) == before
     with pytest.raises(SerializationError):
         merge_label_slices(stl.labels, {foreign: [0.0]})
