@@ -1,25 +1,30 @@
-"""CI perf-smoke: a scaled-down Figure 10 batch/sharded/process comparison.
+"""CI perf-smoke: a scaled-down Figure 10 engine x backend comparison.
 
-Runs one update stream through the four batch strategies of
-:meth:`repro.core.stl.StableTreeLabelling.apply_batch`, writes the
-wall-clocks plus memory and shipping measurements as ``BENCH_ci.json``
-(schema below) and -- when ``--check`` is given -- fails if the batched
-path regressed more than ``--threshold`` x against the committed baseline
+Runs one update stream through the batch strategies of
+:meth:`repro.core.stl.StableTreeLabelling.apply_batch` -- both engine
+families (Pareto, Label Search) on all three backends (serial, thread,
+process) plus the per-update loop -- writes the wall-clocks plus memory,
+shipping and engine-calibration measurements as ``BENCH_ci.json`` (schema
+below) and -- when ``--check`` is given -- fails if a gated series
+regressed more than ``--threshold`` x against the committed baseline
 (``benchmarks/baseline.json``), or if the label store's estimated memory
 grew more than ``--memory-threshold`` x.
 
-Schema (``repro-perf-smoke/2``)::
+Schema (``repro-perf-smoke/3``)::
 
     {
-      "schema": "repro-perf-smoke/2",
+      "schema": "repro-perf-smoke/3",
       "dataset": "NY", "scale": 0.5, "updates": 600, "seed": 2025,
       "python": "3.11.7",
       "series": {            # wall-clock seconds per strategy
         "construction": ...,
         "per_update": ...,
-        "batched": ...,
-        "thread_sharded": ...,
-        "process_sharded": ...
+        "batched": ...,            # Pareto engine, serial backend
+        "thread_sharded": ...,     # Pareto engine, thread backend
+        "process_sharded": ...,    # Pareto engine, process backend
+        "ls_batched": ...,         # Label Search engine, serial backend
+        "ls_thread_sharded": ...,  # Label Search engine, thread backend
+        "ls_process_sharded": ...  # Label Search engine, process backend
       },
       "memory": {
         "label_store_bytes": ...,   # flat entries + offsets (exact)
@@ -30,16 +35,22 @@ Schema (``repro-perf-smoke/2``)::
         "measurements": [{"updates", "slice_bytes", "slice_seconds",
                           "delta_bytes", "delta_seconds",
                           "bytes_ratio", "seconds_ratio"}, ...]
+      },
+      "engines": {           # Pareto-vs-LS calibration (core/calibration)
+        "measurements": [{"updates", "pareto_seconds",
+                          "label_search_seconds", "speedup"}, ...],
+        "recommended_label_search_max": ...
       }
     }
 
-The time guard keys on the **batched** series only: it is the strategy
-with the least scheduling noise (no pools), so a >2x change means a real
-algorithmic regression rather than a loaded runner.  The sharded series
-are recorded as a trajectory (CI uploads the JSON as an artifact per run)
-but not gated -- their wall-clocks depend on the runner's core count.
-The memory guard keys on ``estimate_bytes``: it is deterministic for a
-given workload, so any growth is a real change in label-store layout.
+The time guard keys on the **batched** and **ls_batched** series only:
+they are the strategies with the least scheduling noise (no pools), so a
+>2x change means a real algorithmic regression rather than a loaded
+runner.  The sharded series are recorded as a trajectory (CI uploads the
+JSON as an artifact per run) but not gated -- their wall-clocks depend on
+the runner's core count.  The memory guard keys on ``estimate_bytes``: it
+is deterministic for a given workload, so any growth is a real change in
+label-store layout.
 
 Regenerate the baseline after an intentional perf change with::
 
@@ -56,7 +67,7 @@ import sys
 from pathlib import Path
 
 from repro.core.batch import BatchPolicy
-from repro.core.calibration import calibrate_shipping
+from repro.core.calibration import calibrate_engines, calibrate_shipping
 from repro.core.stl import StableTreeLabelling
 from repro.experiments.harness import measure_batched_seconds
 from repro.hierarchy.builder import HierarchyOptions
@@ -64,11 +75,14 @@ from repro.utils.timer import Timer
 from repro.workloads.datasets import build_dataset
 from repro.workloads.updates import mixed_update_stream
 
-SCHEMA = "repro-perf-smoke/2"
+SCHEMA = "repro-perf-smoke/3"
+
+#: Series gated by ``--check``; everything else is trajectory-only.
+GATED_SERIES = ("batched", "ls_batched")
 
 
 def run_smoke(dataset: str, scale: float, updates: int, seed: int) -> dict:
-    """Measure the four batch strategies once on one Figure 10 stream."""
+    """Measure the engine x backend strategies once on one Figure 10 stream."""
     graph = build_dataset(dataset, scale=scale, seed=seed)
     stl = StableTreeLabelling.build(graph, HierarchyOptions(leaf_size=8))
     stl.batch_policy = BatchPolicy(rebuild_fraction=None)
@@ -85,11 +99,22 @@ def run_smoke(dataset: str, scale: float, updates: int, seed: int) -> dict:
 
     # Every pass replays the same halves: the stream nets to zero, so the
     # graph (and therefore the labels) return to the same state in between.
-    series["batched"], _ = measure_batched_seconds(stl, halves, parallel="serial")
-    series["thread_sharded"], _ = measure_batched_seconds(stl, halves, parallel="thread")
-    series["process_sharded"], _ = measure_batched_seconds(stl, halves, parallel="process")
+    # Each series pins its engine explicitly so the policy's engine
+    # crossover can never reroute a series behind its label.
+    for key, parallel, engine in (
+        ("batched", "serial", "pareto"),
+        ("thread_sharded", "thread", "pareto"),
+        ("process_sharded", "process", "pareto"),
+        ("ls_batched", "serial", "label_search"),
+        ("ls_thread_sharded", "thread", "label_search"),
+        ("ls_process_sharded", "process", "label_search"),
+    ):
+        series[key], _ = measure_batched_seconds(
+            stl, halves, parallel=parallel, engine=engine
+        )
 
     shipping = calibrate_shipping(stl.graph, stl.labels).as_dict()
+    engines = calibrate_engines(stl.graph, stl.hierarchy, stl.labels).as_dict()
     memory = {
         "label_store_bytes": stl.labels.store_bytes(),
         "estimate_bytes": stl.labels.memory_estimate().total_bytes,
@@ -107,6 +132,7 @@ def run_smoke(dataset: str, scale: float, updates: int, seed: int) -> dict:
         "series": series,
         "memory": memory,
         "shipping": shipping,
+        "engines": engines,
     }
 
 
@@ -122,13 +148,16 @@ def check_against_baseline(
         print(f"baseline {baseline_path} has schema {baseline.get('schema')!r}, "
               f"expected {SCHEMA!r}")
         return 1
-    reference = baseline["series"]["batched"]
-    measured = result["series"]["batched"]
-    ratio = measured / reference if reference > 0 else float("inf")
-    verdict = "OK" if ratio <= threshold else "REGRESSION"
-    print(f"batched: {measured:.3f}s vs baseline {reference:.3f}s "
-          f"(x{ratio:.2f}, budget x{threshold:.1f}) -> {verdict}")
-    code = 0 if ratio <= threshold else 1
+    code = 0
+    for key in GATED_SERIES:
+        reference = baseline["series"][key]
+        measured = result["series"][key]
+        ratio = measured / reference if reference > 0 else float("inf")
+        verdict = "OK" if ratio <= threshold else "REGRESSION"
+        print(f"{key}: {measured:.3f}s vs baseline {reference:.3f}s "
+              f"(x{ratio:.2f}, budget x{threshold:.1f}) -> {verdict}")
+        if ratio > threshold:
+            code = 1
 
     baseline_memory = baseline.get("memory", {}).get("estimate_bytes")
     if baseline_memory is None:
@@ -175,6 +204,13 @@ def main(argv: list[str] | None = None) -> int:
               f"slice {m['slice_bytes']} B / {m['slice_seconds'] * 1e3:.2f} ms, "
               f"delta {m['delta_bytes']} B / {m['delta_seconds'] * 1e3:.2f} ms "
               f"(x{m['bytes_ratio']:.1f} bytes, x{m['seconds_ratio']:.1f} time)")
+    for m in result["engines"]["measurements"]:
+        print(f"engines @{m['updates']:>4} updates: "
+              f"pareto {m['pareto_seconds'] * 1e3:.2f} ms, "
+              f"label_search {m['label_search_seconds'] * 1e3:.2f} ms "
+              f"(x{m['speedup']:.2f})")
+    print(f"engines: recommended label_search_max = "
+          f"{result['engines']['recommended_label_search_max']}")
 
     for target in (args.out, args.write_baseline):
         if target is not None:

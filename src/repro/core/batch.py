@@ -72,6 +72,29 @@ from repro.hierarchy.tree import StableTreeHierarchy
 from repro.utils.errors import UpdateError
 
 
+#: The engine names ``apply_batch(engine=...)`` accepts (sorted for the
+#: error message of :func:`normalize_engine`).
+ENGINE_NAMES = ("label_search", "pareto")
+
+
+def normalize_engine(engine: str | None) -> str | None:
+    """Map an ``apply_batch(engine=...)`` argument to an engine name.
+
+    ``None`` means "let :meth:`BatchPolicy.engine_for` (or the index's
+    maintenance mode) decide" and is returned unchanged; the explicit names
+    ``"pareto"`` / ``"label_search"`` select a batch engine directly.
+    Anything else raises :class:`ValueError` naming the allowed set.
+    """
+    if engine is None:
+        return None
+    if isinstance(engine, str) and engine in ENGINE_NAMES:
+        return engine
+    allowed = ", ".join(repr(name) for name in ENGINE_NAMES)
+    raise ValueError(
+        f"unknown batch engine {engine!r}; allowed engines: {allowed} (or None)"
+    )
+
+
 @dataclass
 class BatchPolicy:
     """Knobs governing how a batch of updates is processed.
@@ -133,6 +156,24 @@ class BatchPolicy:
         pool only where there is twice the repair work the thread gate
         already demands.  ``None`` disables the fourth leg;
         ``parallel="process"`` always forces it regardless.
+    label_search_max_updates:
+        The engine half of the joint engine x backend crossover
+        (:meth:`engine_for`): batches up to this many net updates run the
+        batched Label Search engine
+        (:class:`repro.core.batch_label_search.BatchedLabelSearchEngine`),
+        larger ones the batched Pareto engine.  Calibrated like
+        ``process_min_updates``, via
+        :func:`repro.core.calibration.calibrate_engines` on the NY x0.5
+        smoke graph (run by ``benchmarks/perf_smoke.py``): Label Search's
+        per-index queues won every size measured there -- 1.4-2.7x faster
+        on coalesced batches of 23-311 net updates (raw sizes 24-384), the
+        widening gap tracking how its one-drain-per-index cost saturates
+        while Pareto pays per update.  The default of 384 routes the whole
+        measured range to Label Search and leaves the unmeasured beyond to
+        Pareto's update-centric searches, whose shared frontier amortises
+        better as updates begin to overlap.  ``None`` pins the crossover to
+        Pareto (the pre-PR-7 behaviour); an explicit
+        ``apply_batch(engine=...)`` always wins over the crossover.
     max_workers:
         Worker-pool size for the sharded engines; ``None`` lets each engine
         size its pool to ``min(#shards, os.cpu_count())``.
@@ -144,6 +185,7 @@ class BatchPolicy:
     parallel_min_updates: int | None = 192
     parallel_min_balance: float = 0.5
     process_min_updates: int | None = 384
+    label_search_max_updates: int | None = 384
     max_workers: int | None = None
 
     def should_rebuild(self, num_net_updates: int, num_edges: int) -> bool:
@@ -175,6 +217,23 @@ class BatchPolicy:
         if self.process_min_updates is not None and num_net_updates >= self.process_min_updates:
             return "process"
         return "thread"
+
+    def engine_for(self, num_net_updates: int) -> str:
+        """Which batch engine a batch of this size deserves.
+
+        The engine half of the joint crossover: ``"label_search"`` up to
+        ``label_search_max_updates`` net updates, ``"pareto"`` beyond (and
+        always when the threshold is ``None``).  Only consulted when the
+        caller passed neither ``engine=...`` nor a Label Search maintenance
+        mode; orthogonal to :meth:`backend_for` -- either engine runs on any
+        backend.
+        """
+        if (
+            self.label_search_max_updates is not None
+            and num_net_updates <= self.label_search_max_updates
+        ):
+            return "label_search"
+        return "pareto"
 
     def accepts_plan(self, populated_shards: int, balance: float) -> bool:
         """Whether a computed shard plan is balanced enough to run.

@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.core.labelling import STLLabels
 from repro.graph.graph import Graph
@@ -38,6 +38,12 @@ from repro.hierarchy.tree import StableTreeHierarchy
 from repro.utils.errors import UpdateError
 
 UNREACHABLE = math.inf
+
+#: Escape record of a *confined* per-label-index queue: ``(index, distance,
+#: vertex)`` -- the heap entry an unconfined drain would have pushed at a
+#: separator crossing.  The Label Search analogue of the Pareto escape
+#: records settled by :mod:`repro.core.parallel`.
+LabelSearchEscape = tuple[int, float, int]
 
 #: Relative slack for the mark phases' "does this old shortest path run
 #: through the updated edge" test (Algorithm 2 line 5 / Algorithm 4 line 17).
@@ -100,6 +106,224 @@ def _orient(update: EdgeUpdate, tau: list[int]) -> tuple[int, int]:
     return (u, v) if tau[u] < tau[v] else (v, u)
 
 
+# --------------------------------------------------------------------------- #
+# Shared search kernels
+#
+# The module-level functions below are the single implementation of the
+# Algorithm 1/2 searches, shared by the per-kind classes further down, the
+# batched engine (:mod:`repro.core.batch_label_search`) and the sharded
+# backends (:mod:`repro.core.shard`, :mod:`repro.core.parallel`).  All take
+# ``counters == [heap_pushes, labels_changed, vertices_affected]`` and the
+# drains accept the same ``owned``/``escapes`` confinement contract as
+# :func:`repro.core.batch.shared_frontier_relax`: with ``owned`` given, a
+# frontier push leaving the owned set is recorded as a
+# :data:`LabelSearchEscape` instead of followed.
+# --------------------------------------------------------------------------- #
+
+
+def seed_decrease_queues(
+    tau: Sequence[int],
+    labels,
+    decreases: Iterable[EdgeUpdate],
+    queues: dict[int, list[tuple[float, int]]],
+    counters: list[int],
+) -> None:
+    """Seed the per-label-index decrease queues (Algorithm 1, lines 2-7).
+
+    Must run with the **new** weights already known to the caller (the seeds
+    use ``update.new_weight`` directly, so graph state does not matter here);
+    both endpoints' label rows are read.
+    """
+    for update in decreases:
+        a, b = _orient(update, tau)
+        w_new = update.new_weight
+        label_a = labels[a]
+        label_b = labels[b]
+        for i in range(tau[a] + 1):
+            da, db = label_a[i], label_b[i]
+            if da + w_new < db:
+                queues.setdefault(i, [])
+                heappush(queues[i], (da + w_new, b))
+                counters[0] += 1
+            elif db + w_new < da:
+                queues.setdefault(i, [])
+                heappush(queues[i], (db + w_new, a))
+                counters[0] += 1
+
+
+def drain_decrease_queues(
+    adjacency,
+    tau: Sequence[int],
+    labels,
+    queues: dict[int, list[tuple[float, int]]],
+    counters: list[int],
+    owned: set[int] | None = None,
+    escapes: list[LabelSearchEscape] | None = None,
+) -> None:
+    """One pruned search per seeded label index (Algorithm 1, lines 8-14).
+
+    Requires the **new** weights in ``adjacency``.  When confined, a push
+    toward an unowned vertex is escaped *unconditionally* -- the usual
+    improvement gate would read the unowned row, which another region's
+    owner may be rewriting concurrently; the settle drain's pop gate
+    (``d < label_v[i]``) re-applies the test on merged state, so the only
+    cost is a possibly-superfluous escape record.
+    """
+    for i, heap in queues.items():
+        while heap:
+            d, v = heappop(heap)
+            label_v = labels[v]
+            if d < label_v[i]:
+                label_v[i] = d
+                counters[1] += 1
+                for nbr, weight in adjacency[v]:
+                    if tau[nbr] <= i or math.isinf(weight):
+                        continue
+                    if owned is not None and nbr not in owned:
+                        if escapes is not None:
+                            escapes.append((i, d + weight, nbr))
+                        continue
+                    if d + weight < labels[nbr][i]:
+                        heappush(heap, (d + weight, nbr))
+                        counters[0] += 1
+
+
+def seed_affected_queues(
+    tau: Sequence[int],
+    labels,
+    increases: Iterable[EdgeUpdate],
+    queues: dict[int, list[tuple[float, int]]],
+    counters: list[int],
+) -> None:
+    """Seed the phase-1 affected-vertex queues (Algorithm 2, lines 2-8).
+
+    Must run on the **old** weights (the seeds use ``update.old_weight``);
+    the through-the-edge tests tolerate float re-association via
+    :func:`on_old_shortest_path` -- over-marking only costs repair work,
+    under-marking loses the whole delta.
+    """
+    for update in increases:
+        a, b = _orient(update, tau)
+        w_old = update.old_weight
+        label_a = labels[a]
+        label_b = labels[b]
+        for i in range(tau[a] + 1):
+            da, db = label_a[i], label_b[i]
+            if math.isinf(da) or math.isinf(db):
+                continue
+            if on_old_shortest_path(da + w_old, db):
+                queues.setdefault(i, [])
+                heappush(queues[i], (da + w_old, b))
+                counters[0] += 1
+            elif on_old_shortest_path(db + w_old, da):
+                queues.setdefault(i, [])
+                heappush(queues[i], (db + w_old, a))
+                counters[0] += 1
+
+
+def drain_affected_queues(
+    adjacency,
+    tau: Sequence[int],
+    labels,
+    queues: dict[int, list[tuple[float, int]]],
+    affected_by_index: dict[int, set[int]],
+    counters: list[int],
+    owned: set[int] | None = None,
+    escapes: list[LabelSearchEscape] | None = None,
+) -> None:
+    """Follow old shortest paths outward, growing per-index affected sets
+    (Algorithm 2, lines 9-14).
+
+    Runs on the **old** weights and is read-only on the labels, which is
+    what makes the confined variant race-free without any write discipline.
+    ``affected_by_index`` may arrive pre-populated (the coordinator settling
+    escapes on sets merged from its workers); membership checks against it
+    prune re-exploration.  Unlike the decrease drain, escapes *are* gated on
+    :func:`on_old_shortest_path` -- the phase is globally read-only, so the
+    unowned label read is safe, and an ungated escape would flood the
+    coordinator with vertices the predicate immediately rejects.
+    """
+    for i, heap in queues.items():
+        affected = affected_by_index.setdefault(i, set())
+        while heap:
+            d, v = heappop(heap)
+            if v in affected:
+                continue
+            affected.add(v)
+            for nbr, weight in adjacency[v]:
+                if (
+                    tau[nbr] <= i
+                    or math.isinf(weight)
+                    or nbr in affected
+                    or math.isinf(labels[nbr][i])
+                    or not on_old_shortest_path(d + weight, labels[nbr][i])
+                ):
+                    continue
+                if owned is not None and nbr not in owned:
+                    if escapes is not None:
+                        escapes.append((i, d + weight, nbr))
+                    continue
+                heappush(heap, (d + weight, nbr))
+                counters[0] += 1
+
+
+def repair_affected_entries(
+    adjacency,
+    tau: Sequence[int],
+    labels,
+    index: int,
+    affected: set[int],
+    counters: list[int],
+) -> None:
+    """Recompute ``L(v)[index]`` for every ``v`` in ``affected`` (Algorithm 2,
+    Function Repair; Lemma 5.5).
+
+    Requires the **new** weights in ``adjacency``.  Counts one label change
+    per affected vertex (every affected entry is rewritten); the internal
+    Dijkstra relaxations are not billed as heap pushes, matching the
+    historical per-update accounting.
+    """
+    heap: list[tuple[float, int]] = []
+    for v in affected:
+        best = UNREACHABLE
+        for nbr, weight in adjacency[v]:
+            # A neighbour with tau == index is necessarily the ancestor
+            # itself (adjacent vertices are comparable, Lemma 5.3), whose
+            # label entry is 0 -- it must participate in the bound, or a
+            # vertex whose shortest path is the direct edge to the
+            # ancestor would be over-estimated.
+            if tau[nbr] >= index and nbr not in affected and not math.isinf(weight):
+                candidate = labels[nbr][index] + weight
+                if candidate < best:
+                    best = candidate
+        labels[v][index] = best
+        if best < UNREACHABLE:
+            heappush(heap, (best, v))
+
+    counters[1] += len(affected)
+    while heap:
+        d, v = heappop(heap)
+        if d > labels[v][index]:
+            continue
+        for nbr, weight in adjacency[v]:
+            if tau[nbr] > index and not math.isinf(weight):
+                candidate = d + weight
+                if candidate < labels[nbr][index]:
+                    labels[nbr][index] = candidate
+                    heappush(heap, (candidate, nbr))
+
+
+def queues_from_escapes(
+    escapes: Iterable[LabelSearchEscape],
+) -> dict[int, list[tuple[float, int]]]:
+    """Rebuild per-index heaps from escape records for a settle drain."""
+    queues: dict[int, list[tuple[float, int]]] = {}
+    for index, distance, vertex in sorted(escapes):
+        queues.setdefault(index, [])
+        heappush(queues[index], (distance, vertex))
+    return queues
+
+
 class _LabelSearchBase:
     """Shared plumbing of the decrease / increase Label Searches."""
 
@@ -139,38 +363,15 @@ class LabelSearchDecrease(_LabelSearchBase):
             stats.updates_processed += 1
 
         # Seed one priority queue per affected ancestor label index
-        # (Algorithm 1, lines 2-7).
+        # (Algorithm 1, lines 2-7), then one pruned search per index
+        # (lines 8-14); both via the shared module-level kernels.
         queues: dict[int, list[tuple[float, int]]] = {}
-        for update in updates:
-            a, b = _orient(update, tau)
-            w_new = update.new_weight
-            label_a = labels[a]
-            label_b = labels[b]
-            for i in range(tau[a] + 1):
-                da, db = label_a[i], label_b[i]
-                if da + w_new < db:
-                    queues.setdefault(i, [])
-                    heappush(queues[i], (da + w_new, b))
-                    stats.heap_pushes += 1
-                elif db + w_new < da:
-                    queues.setdefault(i, [])
-                    heappush(queues[i], (db + w_new, a))
-                    stats.heap_pushes += 1
-
-        # One pruned search per ancestor index (Algorithm 1, lines 8-14).
-        adjacency = graph.adjacency()
-        for i, heap in queues.items():
-            stats.ancestors_touched += 1
-            while heap:
-                d, v = heappop(heap)
-                label_v = labels[v]
-                if d < label_v[i]:
-                    label_v[i] = d
-                    stats.labels_changed += 1
-                    for nbr, weight in adjacency[v]:
-                        if tau[nbr] > i and not math.isinf(weight) and d + weight < labels[nbr][i]:
-                            heappush(heap, (d + weight, nbr))
-                            stats.heap_pushes += 1
+        counters = [0, 0, 0]
+        seed_decrease_queues(tau, labels, updates, queues, counters)
+        stats.ancestors_touched += len(queues)
+        drain_decrease_queues(graph.adjacency(), tau, labels, queues, counters)
+        stats.heap_pushes += counters[0]
+        stats.labels_changed += counters[1]
         return stats
 
 
@@ -194,57 +395,16 @@ class LabelSearchIncrease(_LabelSearchBase):
 
         # Phase 1 (on OLD weights): find, per ancestor index, the vertices
         # whose old shortest path to the ancestor runs through an updated
-        # edge (Algorithm 2, lines 2-14).
+        # edge (Algorithm 2, lines 2-14), via the shared kernels.
         queues: dict[int, list[tuple[float, int]]] = {}
-        for update in updates:
-            a, b = _orient(update, tau)
-            w_old = update.old_weight
-            label_a = labels[a]
-            label_b = labels[b]
-            for i in range(tau[a] + 1):
-                da, db = label_a[i], label_b[i]
-                # The through-the-edge tests tolerate float re-association
-                # (see repro.core.pareto_search.on_old_shortest_path):
-                # over-marking only costs repair work, under-marking loses
-                # the whole delta.
-                if (
-                    not math.isinf(da)
-                    and not math.isinf(db)
-                    and on_old_shortest_path(da + w_old, db)
-                ):
-                    queues.setdefault(i, [])
-                    heappush(queues[i], (da + w_old, b))
-                    stats.heap_pushes += 1
-                elif (
-                    not math.isinf(db)
-                    and not math.isinf(da)
-                    and on_old_shortest_path(db + w_old, da)
-                ):
-                    queues.setdefault(i, [])
-                    heappush(queues[i], (db + w_old, a))
-                    stats.heap_pushes += 1
-
-        adjacency = graph.adjacency()
+        counters = [0, 0, 0]
+        seed_affected_queues(tau, labels, updates, queues, counters)
+        stats.ancestors_touched += len(queues)
         affected_by_index: dict[int, set[int]] = {}
-        for i, heap in queues.items():
-            stats.ancestors_touched += 1
-            affected: set[int] = set()
-            while heap:
-                d, v = heappop(heap)
-                if v in affected:
-                    continue
-                affected.add(v)
-                for nbr, weight in adjacency[v]:
-                    if (
-                        tau[nbr] > i
-                        and not math.isinf(weight)
-                        and nbr not in affected
-                        and not math.isinf(labels[nbr][i])
-                        and on_old_shortest_path(d + weight, labels[nbr][i])
-                    ):
-                        heappush(heap, (d + weight, nbr))
-                        stats.heap_pushes += 1
-            affected_by_index[i] = affected
+        drain_affected_queues(
+            graph.adjacency(), tau, labels, queues, affected_by_index, counters
+        )
+        for affected in affected_by_index.values():
             stats.vertices_affected += len(affected)
 
         # Apply the new weights before repairing.
@@ -254,43 +414,10 @@ class LabelSearchIncrease(_LabelSearchBase):
 
         # Phase 2: repair every affected entry from its unaffected neighbours
         # (Algorithm 2, Function Repair; Lemma 5.5).
+        adjacency = graph.adjacency()
         for i, affected in affected_by_index.items():
             if affected:
-                stats.labels_changed += self._repair(i, affected)
+                repair_affected_entries(adjacency, tau, labels, i, affected, counters)
+        stats.heap_pushes += counters[0]
+        stats.labels_changed += counters[1]
         return stats
-
-    def _repair(self, index: int, affected: set[int]) -> int:
-        """Recompute ``L(v)[index]`` for every ``v`` in ``affected``."""
-        tau = self.hierarchy.tau
-        labels = self.labels
-        adjacency = self.graph.adjacency()
-
-        heap: list[tuple[float, int]] = []
-        for v in affected:
-            best = UNREACHABLE
-            for nbr, weight in adjacency[v]:
-                # A neighbour with tau == index is necessarily the ancestor
-                # itself (adjacent vertices are comparable, Lemma 5.3), whose
-                # label entry is 0 -- it must participate in the bound, or a
-                # vertex whose shortest path is the direct edge to the
-                # ancestor would be over-estimated.
-                if tau[nbr] >= index and nbr not in affected and not math.isinf(weight):
-                    candidate = labels[nbr][index] + weight
-                    if candidate < best:
-                        best = candidate
-            labels[v][index] = best
-            if best < UNREACHABLE:
-                heappush(heap, (best, v))
-
-        changed = len(affected)
-        while heap:
-            d, v = heappop(heap)
-            if d > labels[v][index]:
-                continue
-            for nbr, weight in adjacency[v]:
-                if tau[nbr] > index and not math.isinf(weight):
-                    candidate = d + weight
-                    if candidate < labels[nbr][index]:
-                        labels[nbr][index] = candidate
-                        heappush(heap, (candidate, nbr))
-        return changed

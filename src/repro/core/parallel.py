@@ -93,6 +93,15 @@ state -- serial composition of exact engines is exact.
 
 Phases 2 and 4 are the parallel ones and carry the bulk of the search work;
 3 and 5 are the serial separator-coupling passes the partition cannot avoid.
+The same six phases run for either batch engine: with ``engine=
+"label_search"`` the workers execute the confined per-label-index queue
+drains of :mod:`repro.core.label_search` instead of the Pareto searches --
+escape records become ``(index, distance, vertex)`` heap entries
+(:data:`repro.core.label_search.LabelSearchEscape`), phase 3 unions the
+workers' affected sets (no ordering discipline needed -- phase 1 marks
+vertices, not value bumps) and repairs through the shared mapping, phase 5
+drains the crossing entries unconfined.  Residency and shipping are
+engine-independent.
 The protocol is two request/reply messages per worker per batch over a
 :func:`multiprocessing.Pipe`; payloads are plain tuples/dicts of ints and
 floats, so they pickle under any start method.  Workers are persistent
@@ -116,7 +125,17 @@ from repro.core.batch import (
     shared_frontier_relax,
     validate_coalesced,
 )
-from repro.core.label_search import MaintenanceStats
+from repro.core.batch_label_search import BatchedLabelSearchEngine, merge_affected_sets
+from repro.core.label_search import (
+    LabelSearchEscape,
+    MaintenanceStats,
+    drain_affected_queues,
+    drain_decrease_queues,
+    queues_from_escapes,
+    repair_affected_entries,
+    seed_affected_queues,
+    seed_decrease_queues,
+)
 from repro.core.labelling import ENTRY_BYTES, STLLabels
 from repro.core.pareto_search import ParetoSearchIncrease, interval_mark_search
 from repro.core.shard import ShardPlan, ShardPlanner, default_num_shards
@@ -289,14 +308,75 @@ def _worker_decrease_phase(state: dict[str, Any]) -> dict[str, Any]:
     return {"escapes": escapes, "counters": counters}
 
 
+def _worker_ls_mark_phase(state: dict[str, Any]) -> dict[str, Any]:
+    """Confined Label Search phase 1 for the worker's shard increases.
+
+    Read-only on the labels (the whole shared mapping is safely readable --
+    nobody writes during round 1), adjacency reads confined to the owned
+    mirror.  Escapes stay gated on the old-shortest-path predicate, exactly
+    like the unconfined drain; affected sets ship back as sorted lists so
+    the reply pickles deterministically.
+    """
+    tau = state["tau"]
+    counters = [0, 0, 0]
+    queues: dict[int, list[tuple[float, int]]] = {}
+    increases = [EdgeUpdate(*record) for record in state["increases"]]
+    seed_affected_queues(tau, state["labels"], increases, queues, counters)
+    affected: dict[int, set[int]] = {}
+    escapes: list[LabelSearchEscape] = []
+    drain_affected_queues(
+        state["adjacency"],
+        tau,
+        state["labels"],
+        queues,
+        affected,
+        counters,
+        owned=state["owned_set"],
+        escapes=escapes,
+    )
+    return {
+        "affected": {index: sorted(vertices) for index, vertices in affected.items()},
+        "escapes": escapes,
+        "counters": counters,
+    }
+
+
+def _worker_ls_decrease_phase(state: dict[str, Any]) -> dict[str, Any]:
+    """Confined per-index decrease drains over the worker's shard decreases.
+
+    Label writes go straight into the shared mapping -- only rows of owned
+    vertices (seeds have both endpoints owned; confined pushes never leave
+    the region).  A push toward an unowned vertex is escaped without the
+    usual improvement read: the unowned row may be mid-rewrite by its owner,
+    and the settle drain's pop gate re-applies the test on merged state.
+    """
+    tau = state["tau"]
+    counters = [0, 0, 0]
+    queues: dict[int, list[tuple[float, int]]] = {}
+    decreases = [EdgeUpdate(*record) for record in state["decreases"]]
+    seed_decrease_queues(tau, state["labels"], decreases, queues, counters)
+    escapes: list[LabelSearchEscape] = []
+    drain_decrease_queues(
+        state["adjacency"],
+        tau,
+        state["labels"],
+        queues,
+        counters,
+        owned=state["owned_set"],
+        escapes=escapes,
+    )
+    return {"escapes": escapes, "counters": counters}
+
+
 def _region_worker_main(conn: Any) -> None:
     """Worker process main loop: two request/reply rounds per batch.
 
     Messages: ``("init", payload)`` maps the shared label segment and the
     owned adjacency mirror once, at pool startup; ``("batch", task)`` syncs
-    weight deltas and runs the mark phase; ``("decreases", sync)`` applies
-    this batch's weight writes and runs the decrease phase; ``("exit",)``
-    unmaps and terminates.  Any exception is reported back as
+    weight deltas and runs the mark phase of the task's engine (Pareto
+    interval marks or Label Search phase 1); ``("decreases", sync)`` applies
+    this batch's weight writes and runs the same engine's decrease phase;
+    ``("exit",)`` unmaps and terminates.  Any exception is reported back as
     ``("error", traceback)`` so the coordinator can raise instead of hanging.
     """
     state: dict[str, Any] | None = None
@@ -321,12 +401,19 @@ def _region_worker_main(conn: Any) -> None:
                 _worker_sync(state, task)
                 state["increases"] = task["increases"]
                 state["decreases"] = task["decreases"]
-                conn.send(("ok", _worker_mark_phase(state)))
+                state["engine"] = task.get("engine", "pareto")
+                if state["engine"] == "label_search":
+                    conn.send(("ok", _worker_ls_mark_phase(state)))
+                else:
+                    conn.send(("ok", _worker_mark_phase(state)))
             elif kind == "decreases":
                 if state is None:
                     raise RuntimeError("decrease round received before init")
                 _worker_sync(state, message[1])
-                conn.send(("ok", _worker_decrease_phase(state)))
+                if state.get("engine") == "label_search":
+                    conn.send(("ok", _worker_ls_decrease_phase(state)))
+                else:
+                    conn.send(("ok", _worker_decrease_phase(state)))
             else:
                 raise RuntimeError(f"unknown worker message {kind!r}")
         except BaseException:
@@ -444,6 +531,7 @@ class ProcessShardBackend:
         self.reply_timeout = reply_timeout
         self._context = multiprocessing.get_context(_pick_start_method(start_method))
         self._serial = BatchedParetoEngine(graph, hierarchy, labels)
+        self._serial_ls = BatchedLabelSearchEngine(graph, hierarchy, labels)
         self._increase = ParetoSearchIncrease(graph, hierarchy, labels)
         self._workers: list[_RegionWorker] | None = None
         self._worker_of_region: list[int] = []
@@ -609,8 +697,16 @@ class ProcessShardBackend:
         updates: Sequence[EdgeUpdate],
         plan: ShardPlan | None = None,
         max_workers: int | None = None,
+        engine: str = "pareto",
     ) -> MaintenanceStats:
-        """Apply one coalesced batch through the process-pool phases."""
+        """Apply one coalesced batch through the process-pool phases.
+
+        ``engine`` selects the batch engine family the confined worker
+        phases decompose: the Pareto mark/frontier searches, or Label
+        Search's per-index queue drains (``"label_search"``) -- same
+        residency, shipping and settle discipline either way, because the
+        Label Search repairs also write through the shared mapping.
+        """
         validate_coalesced(self.graph, updates)
         if plan is None:
             plan = self.planner.plan(updates)
@@ -618,15 +714,18 @@ class ProcessShardBackend:
         stats.extra["shards"] = plan.populated_shards
         stats.extra["sharded_updates"] = plan.sharded_updates
         stats.extra["residual_updates"] = len(plan.residual)
+        serial = self._serial_ls if engine == "label_search" else self._serial
 
         if plan.populated_shards < 2:
-            serial_stats = self._serial.apply(updates)
+            serial_stats = serial.apply(updates)
             serial_stats.updates_processed = 0  # already counted above
             stats.merge(serial_stats)
             return stats
 
         workers = self._ensure_workers(max_workers)
         tasks = self._build_tasks(plan)
+        for task in tasks.values():
+            task["engine"] = engine
         stats.extra["process_workers"] = len(tasks)
 
         try:
@@ -644,7 +743,10 @@ class ProcessShardBackend:
                 if u.kind is UpdateKind.INCREASE
             ]
             if sharded_increases:
-                stats.merge(self._finish_increases(updates, plan, mark_replies))
+                if engine == "label_search":
+                    stats.merge(self._finish_ls_increases(plan, mark_replies))
+                else:
+                    stats.merge(self._finish_increases(updates, plan, mark_replies))
             for widx, reply in mark_replies.items():
                 self._merge_counters(stats, reply["counters"])
                 stats.extra["mark_escapes"] = stats.extra.get("mark_escapes", 0) + len(
@@ -655,7 +757,7 @@ class ProcessShardBackend:
             # rows into the shared mapping, then escape settlement.
             decrease_tasks = {widx: task for widx, task in tasks.items() if task["decreases"]}
             if decrease_tasks:
-                stats.merge(self._run_decreases(decrease_tasks, workers, stats))
+                stats.merge(self._run_decreases(decrease_tasks, workers, stats, engine))
         except BaseException:
             # A failed or timed-out round leaves replies of this batch
             # buffered in the pipes; a retry against the same pool would
@@ -666,7 +768,7 @@ class ProcessShardBackend:
             raise
 
         if len(plan.residual):
-            residual_stats = self._serial.apply(plan.residual.updates)
+            residual_stats = serial.apply(plan.residual.updates)
             residual_stats.updates_processed = 0  # already counted above
             stats.merge(residual_stats)
         return stats
@@ -771,6 +873,57 @@ class ProcessShardBackend:
         stats.labels_changed += counters[1]
         return stats
 
+    def _finish_ls_increases(
+        self, plan: ShardPlan, mark_replies: dict[int, Any]
+    ) -> MaintenanceStats:
+        """Label Search increase half: merge affected sets, settle, repair.
+
+        The workers' per-index affected sets union cleanly (phase 1 marks
+        vertices, not value bumps, so no ordering discipline is needed --
+        contrast :meth:`_finish_increases`); escaped chains are drained
+        unconfined on the still-unmodified graph against the merged sets,
+        then the new weights land and one combined per-index repair writes
+        through the shared mapping, so workers start their decrease phase
+        from the post-increase state without any entries being shipped.
+        """
+        stats = MaintenanceStats()
+        tau = self.hierarchy.tau
+        counters = [0, 0, 0]
+
+        affected_by_index: dict[int, set[int]] = {}
+        escapes: list[LabelSearchEscape] = []
+        for widx in sorted(mark_replies):
+            reply = mark_replies[widx]
+            merge_affected_sets(affected_by_index, reply["affected"])
+            escapes.extend(reply["escapes"])
+        if escapes:
+            drain_affected_queues(
+                self.graph.adjacency(),
+                tau,
+                self.labels,
+                queues_from_escapes(escapes),
+                affected_by_index,
+                counters,
+            )
+        stats.ancestors_touched += len(affected_by_index)
+        for affected in affected_by_index.values():
+            stats.vertices_affected += len(affected)
+
+        for shard in plan.shards:
+            for update in shard:
+                if update.kind is UpdateKind.INCREASE:
+                    self.graph.set_weight(update.u, update.v, update.new_weight)
+        adjacency = self.graph.adjacency()
+        for index in sorted(affected_by_index):
+            affected = affected_by_index[index]
+            if affected:
+                repair_affected_entries(
+                    adjacency, tau, self.labels, index, affected, counters
+                )
+        stats.heap_pushes += counters[0]
+        stats.labels_changed += counters[1]
+        return stats
+
     # ------------------------------------------------------------------ #
     # Decrease half: parallel confined frontiers + serial settlement
     # ------------------------------------------------------------------ #
@@ -780,6 +933,7 @@ class ProcessShardBackend:
         decrease_tasks: dict[int, dict[str, Any]],
         workers: list[_RegionWorker],
         batch_stats: MaintenanceStats,
+        engine: str = "pareto",
     ) -> MaintenanceStats:
         stats = MaintenanceStats()
         # All sharded decrease weights go into the master graph first, so
@@ -790,6 +944,31 @@ class ProcessShardBackend:
                 self.graph.set_weight(u, v, new)
         for widx in decrease_tasks:
             workers[widx].send(("decreases", self._sync_payload(widx, batch_stats)))
+
+        if engine == "label_search":
+            ls_escapes: list[LabelSearchEscape] = []
+            for widx in sorted(decrease_tasks):
+                reply = workers[widx].recv(self.reply_timeout)
+                ls_escapes.extend(reply["escapes"])
+                self._merge_counters(stats, reply["counters"])
+            stats.extra["decrease_escapes"] = (
+                stats.extra.get("decrease_escapes", 0) + len(ls_escapes)
+            )
+            if ls_escapes:
+                # Settle: drain the crossing heap entries unconfined on the
+                # merged shared state; the pop gate re-checks improvement, so
+                # unconditionally-escaped candidates that lost their race are
+                # simply dropped here.
+                counters = [0, 0, 0]
+                drain_decrease_queues(
+                    self.graph.adjacency(),
+                    self.hierarchy.tau,
+                    self.labels,
+                    queues_from_escapes(ls_escapes),
+                    counters,
+                )
+                self._merge_counters(stats, counters)
+            return stats
 
         escape_seeds: dict[int, list[_Escape]] = {}
         for widx in sorted(decrease_tasks):

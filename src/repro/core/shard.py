@@ -56,7 +56,12 @@ plans.
 The three engines sit behind one :class:`ShardBackend` protocol (``serial`` /
 ``thread`` / ``process``), created by :func:`create_backend` and selected on
 :meth:`repro.core.stl.StableTreeLabelling.apply_batch` via the ``parallel``
-argument (validated by :func:`normalize_parallel`).
+argument (validated by :func:`normalize_parallel`).  Each backend runs either
+batch *engine* -- the Pareto phases above, or batched Label Search
+(:mod:`repro.core.batch_label_search`), whose per-label-index queues shard
+under the same ownership model with confined drains and escape records
+(:meth:`ShardedBatchEngine._apply_label_search`); the ``engine`` argument of
+:meth:`ShardBackend.apply` picks per batch.
 """
 
 from __future__ import annotations
@@ -72,7 +77,18 @@ from repro.core.batch import (
     shared_frontier_decrease,
     validate_coalesced,
 )
-from repro.core.label_search import MaintenanceStats, _orient
+from repro.core.batch_label_search import BatchedLabelSearchEngine, merge_affected_sets
+from repro.core.label_search import (
+    LabelSearchEscape,
+    MaintenanceStats,
+    _orient,
+    drain_affected_queues,
+    drain_decrease_queues,
+    queues_from_escapes,
+    repair_affected_entries,
+    seed_affected_queues,
+    seed_decrease_queues,
+)
 from repro.core.labelling import STLLabels
 from repro.core.pareto_search import ParetoSearchIncrease
 from repro.graph.graph import Graph
@@ -120,11 +136,13 @@ class ShardBackend(Protocol):
     """The surface every sharded-batch backend exposes.
 
     Implementations: :class:`SerialShardBackend` (no pool -- the batched
-    engine behind the backend interface), :class:`ShardedBatchEngine`
+    engines behind the backend interface), :class:`ShardedBatchEngine`
     (thread pool, concurrent read-only marks) and
     :class:`repro.core.parallel.ProcessShardBackend` (process pool,
-    partitioned label ownership).  All three take a **coalesced** batch and
-    leave labels entry-wise equal to :class:`BatchedParetoEngine`.
+    partitioned label ownership).  All three take a **coalesced** batch,
+    run it through the requested batch ``engine`` (``"pareto"`` or
+    ``"label_search"``; any engine composes with any backend) and leave
+    labels entry-wise equal to that engine's serial result.
     """
 
     name: str
@@ -135,6 +153,7 @@ class ShardBackend(Protocol):
         updates: Sequence[EdgeUpdate],
         plan: "ShardPlan | None" = None,
         max_workers: int | None = None,
+        engine: str = "pareto",
     ) -> MaintenanceStats:
         """Apply one coalesced batch; ``plan`` may be precomputed."""
         ...  # pragma: no cover - protocol
@@ -325,24 +344,31 @@ class ShardedBatchEngine:
         self.planner = planner or ShardPlanner(graph)
         self.max_workers = max_workers
         self._serial = BatchedParetoEngine(graph, hierarchy, labels)
+        self._serial_ls = BatchedLabelSearchEngine(graph, hierarchy, labels)
         self._increase = ParetoSearchIncrease(graph, hierarchy, labels)
 
     def close(self) -> None:
         """Nothing to release: the thread pool is per-:meth:`apply` call."""
+
+    def _serial_engine(self, engine: str):
+        return self._serial_ls if engine == "label_search" else self._serial
 
     def apply(
         self,
         updates: Sequence[EdgeUpdate],
         plan: ShardPlan | None = None,
         max_workers: int | None = None,
+        engine: str = "pareto",
     ) -> MaintenanceStats:
         """Apply one coalesced batch through the sharded phases.
 
         ``plan`` may be supplied when the caller already planned the batch
         (as :meth:`repro.core.stl.StableTreeLabelling.apply_batch` does to
         evaluate the balance crossover); otherwise :attr:`planner` plans it.
-        Raises :class:`repro.utils.errors.UpdateError` on non-coalesced input
-        (same precondition as the serial engine).
+        ``engine`` selects the batch engine family the phases decompose
+        (``"pareto"`` or ``"label_search"``).  Raises
+        :class:`repro.utils.errors.UpdateError` on non-coalesced input
+        (same precondition as the serial engines).
         """
         validate_coalesced(self.graph, updates)
         if plan is None:
@@ -351,11 +377,12 @@ class ShardedBatchEngine:
         stats.extra["shards"] = plan.populated_shards
         stats.extra["sharded_updates"] = plan.sharded_updates
         stats.extra["residual_updates"] = len(plan.residual)
+        serial = self._serial_engine(engine)
 
         if plan.populated_shards < 2:
             # Degenerate plan (everything separator-crossing, or a single
             # populated region): the pool cannot help, run serially.
-            serial_stats = self._serial.apply(updates)
+            serial_stats = serial.apply(updates)
             serial_stats.updates_processed = 0  # already counted above
             stats.merge(serial_stats)
             return stats
@@ -369,27 +396,34 @@ class ShardedBatchEngine:
         workers = max_workers or self.max_workers or min(
             plan.populated_shards, os.cpu_count() or 1
         )
-        # The original coalesced order of the sharded increases; merging the
-        # concurrent mark results in this order reproduces the serial
-        # engine's bump accumulation float-for-float.
-        sharded_edges = {
-            (u.u, u.v) if u.u < u.v else (u.v, u.u)
-            for shard in plan.shards
-            for u in shard
-        }
-        increase_order = [
-            u
-            for u in updates
-            if u.kind is UpdateKind.INCREASE
-            and ((u.u, u.v) if u.u < u.v else (u.v, u.u)) in sharded_edges
-        ]
-        if any(shard_increases):
-            with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
-                stats.merge(self._apply_increases(pool, shard_increases, increase_order))
-        if any(shard_decreases):
-            stats.merge(self._apply_decreases(shard_decreases))
+        if engine == "label_search":
+            stats.merge(
+                self._apply_label_search(plan, shard_increases, shard_decreases, workers)
+            )
+        else:
+            # The original coalesced order of the sharded increases; merging
+            # the concurrent mark results in this order reproduces the serial
+            # engine's bump accumulation float-for-float.
+            sharded_edges = {
+                (u.u, u.v) if u.u < u.v else (u.v, u.u)
+                for shard in plan.shards
+                for u in shard
+            }
+            increase_order = [
+                u
+                for u in updates
+                if u.kind is UpdateKind.INCREASE
+                and ((u.u, u.v) if u.u < u.v else (u.v, u.u)) in sharded_edges
+            ]
+            if any(shard_increases):
+                with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
+                    stats.merge(
+                        self._apply_increases(pool, shard_increases, increase_order)
+                    )
+            if any(shard_decreases):
+                stats.merge(self._apply_decreases(shard_decreases))
         if len(plan.residual):
-            residual_stats = self._serial.apply(plan.residual.updates)
+            residual_stats = serial.apply(plan.residual.updates)
             residual_stats.updates_processed = 0  # already counted above
             stats.merge(residual_stats)
         return stats
@@ -484,9 +518,161 @@ class ShardedBatchEngine:
             self.graph, self.hierarchy, self.labels, all_decreases
         )
 
+    # ------------------------------------------------------------------ #
+    # Label Search: confined per-shard queue drains + serial settlement
+    # ------------------------------------------------------------------ #
+
+    def _apply_label_search(
+        self,
+        plan: ShardPlan,
+        shard_increases: list[list[EdgeUpdate]],
+        shard_decreases: list[list[EdgeUpdate]],
+        workers: int,
+    ) -> MaintenanceStats:
+        """Sharded Label Search over the plan's per-region sub-batches.
+
+        The same confinement/escape scheme the process backend runs
+        (:mod:`repro.core.parallel`), in-process:
+
+        * *Phase 1* (per shard, concurrent) -- seed + drain the per-index
+          affected queues confined to the shard's region; the phase is
+          read-only on labels, and a frontier step crossing the separator
+          becomes a :data:`repro.core.label_search.LabelSearchEscape`.  The
+          merged affected sets plus one unconfined settle drain over the
+          escapes reproduce the global phase-1 result, after which the
+          weights land and one serial per-index repair finishes the half.
+        * *Decreases* (per shard, concurrent) -- after all new weights are
+          applied, each shard seeds and drains its per-index decrease
+          queues, writing **only its own region's rows** (escapes are
+          recorded unconditionally rather than gated on an unowned-row
+          read); a final unconfined settle drain follows the crossings.
+          Unlike the Pareto shared frontier (see
+          :meth:`_apply_decreases`), the per-index drain is plain
+          improvement-gated relaxation per label index: every write is a
+          genuine path length, confined drains replay exactly the chains
+          inside their region, and a chain pruned by a better write is
+          covered by that write's own continuations or escapes -- so the
+          settle pass reaches the same fixpoint as the serial drain.
+        """
+        tau = self.hierarchy.tau
+        labels = self.labels
+        stats = MaintenanceStats()
+        counters = [0, 0, 0]
+
+        if any(shard_increases):
+            adjacency = self.graph.adjacency()
+
+            def mark_shard(
+                rid: int,
+            ) -> tuple[dict[int, set[int]], list[LabelSearchEscape], list[int]]:
+                local_counters = [0, 0, 0]
+                queues: dict[int, list[tuple[float, int]]] = {}
+                seed_affected_queues(
+                    tau, labels, shard_increases[rid], queues, local_counters
+                )
+                local_affected: dict[int, set[int]] = {}
+                local_escapes: list[LabelSearchEscape] = []
+                drain_affected_queues(
+                    adjacency,
+                    tau,
+                    labels,
+                    queues,
+                    local_affected,
+                    local_counters,
+                    owned=set(plan.regions[rid]),
+                    escapes=local_escapes,
+                )
+                return local_affected, local_escapes, local_counters
+
+            affected_by_index: dict[int, set[int]] = {}
+            escapes: list[LabelSearchEscape] = []
+            with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
+                futures = [
+                    pool.submit(mark_shard, rid)
+                    for rid, incs in enumerate(shard_increases)
+                    if incs
+                ]
+                for future in futures:
+                    local_affected, local_escapes, local_counters = future.result()
+                    merge_affected_sets(affected_by_index, local_affected)
+                    escapes.extend(local_escapes)
+                    for k in range(3):
+                        counters[k] += local_counters[k]
+            if escapes:
+                drain_affected_queues(
+                    adjacency,
+                    tau,
+                    labels,
+                    queues_from_escapes(escapes),
+                    affected_by_index,
+                    counters,
+                )
+            stats.extra["mark_escapes"] = len(escapes)
+            stats.ancestors_touched += len(affected_by_index)
+            for affected in affected_by_index.values():
+                stats.vertices_affected += len(affected)
+
+            for incs in shard_increases:
+                for update in incs:
+                    self.graph.set_weight(update.u, update.v, update.new_weight)
+            adjacency = self.graph.adjacency()
+            for index in sorted(affected_by_index):
+                affected = affected_by_index[index]
+                if affected:
+                    repair_affected_entries(adjacency, tau, labels, index, affected, counters)
+
+        if any(shard_decreases):
+            for decs in shard_decreases:
+                for update in decs:
+                    self.graph.set_weight(update.u, update.v, update.new_weight)
+            adjacency = self.graph.adjacency()
+
+            def drain_shard(rid: int) -> tuple[int, list[LabelSearchEscape], list[int]]:
+                local_counters = [0, 0, 0]
+                queues: dict[int, list[tuple[float, int]]] = {}
+                seed_decrease_queues(
+                    tau, labels, shard_decreases[rid], queues, local_counters
+                )
+                local_escapes: list[LabelSearchEscape] = []
+                drain_decrease_queues(
+                    adjacency,
+                    tau,
+                    labels,
+                    queues,
+                    local_counters,
+                    owned=set(plan.regions[rid]),
+                    escapes=local_escapes,
+                )
+                return len(queues), local_escapes, local_counters
+
+            dec_escapes: list[LabelSearchEscape] = []
+            seeded_indexes = 0
+            with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
+                futures = [
+                    pool.submit(drain_shard, rid)
+                    for rid, decs in enumerate(shard_decreases)
+                    if decs
+                ]
+                for future in futures:
+                    num_queues, local_escapes, local_counters = future.result()
+                    seeded_indexes += num_queues
+                    dec_escapes.extend(local_escapes)
+                    for k in range(3):
+                        counters[k] += local_counters[k]
+            stats.ancestors_touched += seeded_indexes
+            if dec_escapes:
+                drain_decrease_queues(
+                    adjacency, tau, labels, queues_from_escapes(dec_escapes), counters
+                )
+            stats.extra["decrease_escapes"] = len(dec_escapes)
+
+        stats.heap_pushes += counters[0]
+        stats.labels_changed += counters[1]
+        return stats
+
 
 class SerialShardBackend:
-    """The batched serial engine behind the :class:`ShardBackend` surface.
+    """The batched serial engines behind the :class:`ShardBackend` surface.
 
     Exists so callers can treat "no pool at all" as just another backend
     (the ``parallel="serial"`` / ``parallel=False`` route); the plan, if
@@ -504,15 +690,19 @@ class SerialShardBackend:
         max_workers: int | None = None,
     ):
         self.planner = planner or ShardPlanner(graph)
-        self._engine = BatchedParetoEngine(graph, hierarchy, labels)
+        self._engines = {
+            "pareto": BatchedParetoEngine(graph, hierarchy, labels),
+            "label_search": BatchedLabelSearchEngine(graph, hierarchy, labels),
+        }
 
     def apply(
         self,
         updates: Sequence[EdgeUpdate],
         plan: ShardPlan | None = None,
         max_workers: int | None = None,
+        engine: str = "pareto",
     ) -> MaintenanceStats:
-        stats = self._engine.apply(updates)
+        stats = self._engines[engine].apply(updates)
         if plan is not None:
             stats.extra["shards"] = plan.populated_shards
             stats.extra["sharded_updates"] = plan.sharded_updates

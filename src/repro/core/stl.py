@@ -21,7 +21,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Literal
 
-from repro.core.batch import BatchedParetoEngine, BatchPolicy
+from repro.core.batch import BatchedParetoEngine, BatchPolicy, normalize_engine
+from repro.core.batch_label_search import BatchedLabelSearchEngine
 from repro.core.shard import (
     ShardBackend,
     ShardedBatchEngine,
@@ -108,6 +109,7 @@ class StableTreeLabelling:
             self._decrease = LabelSearchDecrease(self.graph, self.hierarchy, self.labels)
             self._increase = LabelSearchIncrease(self.graph, self.hierarchy, self.labels)
         self._batch_engine = BatchedParetoEngine(self.graph, self.hierarchy, self.labels)
+        self._ls_batch_engine = BatchedLabelSearchEngine(self.graph, self.hierarchy, self.labels)
         # The shard planner's regions are topology-only, so switching
         # maintenance modes keeps the (lazily computed) plan regions; the
         # bisection is only paid on the first sharded batch.  The process
@@ -181,6 +183,7 @@ class StableTreeLabelling:
         updates: Iterable[EdgeUpdate],
         policy: BatchPolicy | None = None,
         parallel: bool | str | None = None,
+        engine: str | None = None,
     ) -> MaintenanceStats:
         """Apply a batch of updates with per-edge coalescing.
 
@@ -194,15 +197,11 @@ class StableTreeLabelling:
           that cancels out is a NEUTRAL no-op.
         * **Net-kind processing** -- net increases run before net decreases
           (disjoint edges, so the order only fixes which pass pays for which
-          entry).  In ``pareto`` mode the :class:`BatchPolicy` three-way
-          crossover picks the processing strategy -- the per-update loop for
-          tiny batches, the shared-phase
-          :class:`repro.core.batch.BatchedParetoEngine` for moderate ones,
-          and the worker-pool
-          :class:`repro.core.shard.ShardedBatchEngine` for large,
-          well-spread ones (``stats.extra["sharded"]`` records the choice).
-          In ``label_search`` mode the natively batched Algorithms 1-2
-          process each kind group.
+          entry).  The :class:`BatchPolicy` crossover picks the processing
+          strategy -- the per-update loop for tiny batches, a serial batched
+          engine for moderate ones, and a worker-pool shard backend for
+          large, well-spread ones (``stats.extra["sharded"]`` records the
+          choice).
         * **Rebuild crossover** -- when the net batch exceeds
           ``policy.rebuild_fraction`` of the graph's edges (and
           ``policy.rebuild_min_updates``), maintaining is slower than
@@ -219,9 +218,17 @@ class StableTreeLabelling:
         ``process_min_updates`` thresholds pick between the four
         strategies.  Any other value raises :class:`ValueError` naming the
         allowed set (merely-truthy values used to be swallowed silently).
-        Forcing a pool requires ``maintenance="pareto"`` and raises
-        :class:`ValueError` otherwise; all strategies produce entry-wise
-        identical labels, so the choice is purely a performance matter.
+
+        ``engine`` selects the batch engine family independently of the
+        backend: ``"pareto"`` (the update-centric shared phases) or
+        ``"label_search"`` (the ancestor-centric per-index queues of
+        :mod:`repro.core.batch_label_search`).  ``None`` defers to the
+        index's maintenance mode when it is ``label_search``, else to
+        :meth:`BatchPolicy.engine_for` -- the engine half of the joint
+        engine x backend crossover.  Every engine runs on every backend and
+        all strategies produce entry-wise identical labels, so both choices
+        are purely performance matters; ``stats.extra
+        ["label_search_engine"]`` records a Label Search batch.
 
         ``updates_processed`` counts every update consumed from the input
         batch, including NEUTRAL updates and updates folded away by
@@ -229,8 +236,9 @@ class StableTreeLabelling:
         batch size.
         """
         backend = normalize_parallel(parallel)
-        if backend in ("thread", "process") and self._maintenance_mode != "pareto":
-            raise ValueError("parallel batch processing requires maintenance='pareto'")
+        chosen = normalize_engine(engine)
+        if chosen is None and self._maintenance_mode == "label_search":
+            chosen = "label_search"
         batch = updates if isinstance(updates, UpdateBatch) else UpdateBatch(updates)
         total = len(batch)
         if total == 0:
@@ -240,35 +248,45 @@ class StableTreeLabelling:
         # NEUTRAL nets (cancelled chains) do no maintenance work, so they must
         # not push an otherwise-small batch over the rebuild crossover.
         effective = sum(1 for u in net if u.kind is not UpdateKind.NEUTRAL)
+        used_engine = chosen or policy.engine_for(effective)
         if backend in ("thread", "process"):
-            stats = self._apply_batch_sharded(net, policy, forced=True, backend=backend)
+            stats = self._apply_batch_sharded(
+                net, policy, forced=True, backend=backend, engine=used_engine
+            )
         elif policy.should_rebuild(effective, self.graph.num_edges):
             stats = self._rebuild_in_place(net)
-        elif self._maintenance_mode == "pareto":
-            if backend != "serial" and policy.should_shard(effective):
-                stats = self._apply_batch_sharded(
-                    net, policy, forced=False, backend=policy.backend_for(effective)
-                )
-            elif policy.should_loop(effective):
-                # Tiny batch: the batch machinery would cost more than it
-                # shares; run the plain per-update loop.
-                stats = MaintenanceStats()
-                for update in net:
-                    stats.merge(self.apply_update(update))
-            else:
-                stats = self._batch_engine.apply(net.updates)
+            used_engine = "rebuild"
+        elif backend != "serial" and policy.should_shard(effective):
+            stats = self._apply_batch_sharded(
+                net,
+                policy,
+                forced=False,
+                backend=policy.backend_for(effective),
+                engine=used_engine,
+            )
+        elif policy.should_loop(effective) and (
+            chosen is None or chosen == self._maintenance_mode
+        ):
+            # Tiny batch: the batch machinery would cost more than it
+            # shares; run the plain per-update loop (which dispatches to the
+            # maintenance mode's own per-kind algorithms).
+            stats = MaintenanceStats()
+            for update in net:
+                stats.merge(self.apply_update(update))
+            used_engine = self._maintenance_mode
         else:
-            increases = net.increases()
-            decreases = net.decreases()
-            neutral = len(net) - len(increases) - len(decreases)
-            stats = MaintenanceStats(updates_processed=neutral)
-            if len(increases):
-                stats.merge(self._increase.apply(increases))
-            if len(decreases):
-                stats.merge(self._decrease.apply(decreases))
+            stats = self._serial_engine(used_engine).apply(net.updates)
         stats.updates_processed += total - len(net)
         stats.extra["net_updates"] = len(net)
+        if used_engine == "label_search":
+            stats.extra["label_search_engine"] = 1
         return stats
+
+    def _serial_engine(
+        self, engine: str
+    ) -> BatchedParetoEngine | BatchedLabelSearchEngine:
+        """The serial batched engine of the given family."""
+        return self._ls_batch_engine if engine == "label_search" else self._batch_engine
 
     def _apply_batch_sharded(
         self,
@@ -276,23 +294,27 @@ class StableTreeLabelling:
         policy: BatchPolicy,
         forced: bool,
         backend: str = "thread",
+        engine: str = "pareto",
     ) -> MaintenanceStats:
         """Plan ``net`` into shards and run a worker-pool engine.
 
         Unless ``forced``, an unbalanced plan (most updates residual, or a
-        single populated shard) falls back to the serial batched engine --
-        the plan's balance is the second key of the policy's crossover.
-        Every sharded engine additionally degrades to the serial engine for
-        degenerate plans, so ``forced=True`` is always safe.  Both engines
-        share one planner, so the plan computed here is the plan they run.
+        single populated shard) falls back to the serial batched engine of
+        the chosen family -- the plan's balance is the second key of the
+        policy's crossover.  Every sharded engine additionally degrades to
+        the serial engine for degenerate plans, so ``forced=True`` is
+        always safe.  Both engines share one planner, so the plan computed
+        here is the plan they run.
         """
-        engine = self._shard_backend(backend)
-        plan = engine.planner.plan(net)
+        shard_engine = self._shard_backend(backend)
+        plan = shard_engine.planner.plan(net)
         if not forced and not plan.worth_running(policy):
-            stats = self._batch_engine.apply(net.updates)
+            stats = self._serial_engine(engine).apply(net.updates)
             stats.extra["sharded"] = 0
             return stats
-        stats = engine.apply(net.updates, plan=plan, max_workers=policy.max_workers)
+        stats = shard_engine.apply(
+            net.updates, plan=plan, max_workers=policy.max_workers, engine=engine
+        )
         stats.extra["sharded"] = 1
         return stats
 

@@ -24,6 +24,14 @@ Four maintenance flavours are measured per group:
   which ships each region's label rows to a worker process that owns them
   (:class:`repro.core.parallel.ProcessShardBackend`) -- the only flavour
   whose searches run outside the GIL.
+
+Each batched/sharded flavour is additionally measured with the **Label
+Search engine** (``apply_batch(..., engine="label_search")``, the batched
+Algorithms 1-2 of :mod:`repro.core.batch_label_search`), giving the full
+engine x backend matrix per group: ``STL batched`` vs ``STL-LS batched``
+compares the engine families serially, the sharded rows compare them on the
+worker-pool backends.  The Pareto rows pin ``engine="pareto"`` explicitly so
+the policy's engine crossover can never reroute a labelled series.
 """
 
 from __future__ import annotations
@@ -48,6 +56,9 @@ class Figure10Series:
     batched_seconds: list[float] = field(default_factory=list)
     sharded_seconds: list[float] = field(default_factory=list)
     process_seconds: list[float] = field(default_factory=list)
+    ls_batched_seconds: list[float] = field(default_factory=list)
+    ls_sharded_seconds: list[float] = field(default_factory=list)
+    ls_process_seconds: list[float] = field(default_factory=list)
     rebuild_fallbacks: list[int] = field(default_factory=list)
     reconstruction_seconds: float = 0.0
 
@@ -57,6 +68,9 @@ class Figure10Series:
             "STL batched [s]": self.batched_seconds,
             "STL sharded [s]": self.sharded_seconds,
             "STL process-sharded [s]": self.process_seconds,
+            "STL-LS batched [s]": self.ls_batched_seconds,
+            "STL-LS sharded [s]": self.ls_sharded_seconds,
+            "STL-LS process-sharded [s]": self.ls_process_seconds,
             "Rebuild fallbacks": [float(n) for n in self.rebuild_fallbacks],
             "Reconstruction [s]": [self.reconstruction_seconds] * len(self.group_sizes),
         }
@@ -96,7 +110,8 @@ def run_figure10(
             # the policy's crossover would route large groups to the sharded
             # engine and the "batched" row would measure the wrong thing.
             seconds, fallbacks = measure_batched_seconds(
-                stl, (stream.increases(), stream.decreases()), parallel=False
+                stl, (stream.increases(), stream.decreases()),
+                parallel=False, engine="pareto",
             )
             series.batched_seconds.append(seconds)
             series.rebuild_fallbacks.append(fallbacks)
@@ -105,13 +120,32 @@ def run_figure10(
             # matches); the explicit backend names force the worker-pool
             # engines even for groups the policy would keep serial.
             sharded, _ = measure_batched_seconds(
-                stl, (stream.increases(), stream.decreases()), parallel="thread"
+                stl, (stream.increases(), stream.decreases()),
+                parallel="thread", engine="pareto",
             )
             series.sharded_seconds.append(sharded)
             process, _ = measure_batched_seconds(
-                stl, (stream.increases(), stream.decreases()), parallel="process"
+                stl, (stream.increases(), stream.decreases()),
+                parallel="process", engine="pareto",
             )
             series.process_seconds.append(process)
+            # The Label Search engine replays the same halves on all three
+            # backends -- the engine half of the engine x backend matrix.
+            ls_batched, _ = measure_batched_seconds(
+                stl, (stream.increases(), stream.decreases()),
+                parallel=False, engine="label_search",
+            )
+            series.ls_batched_seconds.append(ls_batched)
+            ls_sharded, _ = measure_batched_seconds(
+                stl, (stream.increases(), stream.decreases()),
+                parallel="thread", engine="label_search",
+            )
+            series.ls_sharded_seconds.append(ls_sharded)
+            ls_process, _ = measure_batched_seconds(
+                stl, (stream.increases(), stream.decreases()),
+                parallel="process", engine="label_search",
+            )
+            series.ls_process_seconds.append(ls_process)
         stl.close()  # release the process backend's worker pool
         results.append(series)
     return results

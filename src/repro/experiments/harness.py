@@ -54,6 +54,7 @@ class ExperimentConfig:
     batch_parallel_min_updates: int | None = 192
     batch_parallel_min_balance: float = 0.5
     batch_process_min_updates: int | None = None
+    batch_label_search_max_updates: int | None = None
     batch_max_workers: int | None = None
 
     def hierarchy_options(self) -> HierarchyOptions:
@@ -61,13 +62,20 @@ class ExperimentConfig:
         return HierarchyOptions(beta=self.beta, leaf_size=self.leaf_size)
 
     def batch_policy(self) -> BatchPolicy:
-        """Batch-processing policy (four-way + rebuild crossover)."""
+        """Batch-processing policy (four-way + rebuild + engine crossover).
+
+        ``batch_label_search_max_updates`` defaults to ``None`` -- experiment
+        series are engine-pinned (each series names its engine explicitly),
+        so the drivers never want the engine crossover rerouting a series
+        behind its label.
+        """
         return BatchPolicy(
             rebuild_min_updates=self.batch_rebuild_min_updates,
             rebuild_fraction=self.batch_rebuild_fraction,
             parallel_min_updates=self.batch_parallel_min_updates,
             parallel_min_balance=self.batch_parallel_min_balance,
             process_min_updates=self.batch_process_min_updates,
+            label_search_max_updates=self.batch_label_search_max_updates,
             max_workers=self.batch_max_workers,
         )
 
@@ -161,22 +169,25 @@ def measure_batched_seconds(
     index: StableTreeLabelling,
     batches: Iterable[UpdateBatch],
     parallel: bool | str | None = None,
+    engine: str | None = None,
 ) -> tuple[float, int]:
     """Total seconds applying ``batches`` via ``apply_batch``, plus fallbacks.
 
     The second element counts how many of the batches crossed the
     :class:`repro.core.batch.BatchPolicy` threshold and were processed as an
     in-place rebuild instead of incremental maintenance (Figure 10's
-    crossover diagnostic).  ``parallel`` is forwarded to
+    crossover diagnostic).  ``parallel`` and ``engine`` are forwarded to
     :meth:`repro.core.stl.StableTreeLabelling.apply_batch`: ``True`` /
-    ``"thread"`` / ``"process"`` force a worker-pool engine (no rebuild
-    fallback can then occur), ``None`` lets the policy's four-way crossover
-    decide.
+    ``"thread"`` / ``"process"`` force a worker-pool backend (no rebuild
+    fallback can then occur), ``"pareto"`` / ``"label_search"`` pin the
+    engine family, and ``None`` lets the policy crossovers decide.  The
+    experiment series always pin ``engine`` so each measured series is the
+    strategy its label names.
     """
     timer = Timer()
     fallbacks = 0
     for batch in batches:
         with timer.measure():
-            stats = index.apply_batch(batch, parallel=parallel)
+            stats = index.apply_batch(batch, parallel=parallel, engine=engine)
         fallbacks += stats.extra.get("rebuild_fallback", 0)
     return timer.elapsed, fallbacks

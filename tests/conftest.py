@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import math
+import random
 
 import networkx as nx
 import pytest
 
+from repro.core.stl import StableTreeLabelling
 from repro.graph.generators import (
     city_road_network,
     grid_road_network,
@@ -14,6 +16,8 @@ from repro.graph.generators import (
     random_connected_graph,
 )
 from repro.graph.graph import Graph
+from repro.graph.updates import EdgeUpdate, UpdateBatch
+from repro.hierarchy.builder import HierarchyOptions
 
 
 def nx_all_pairs(graph: Graph) -> dict[int, dict[int, float]]:
@@ -36,6 +40,41 @@ def assert_distances_match(expected: float, actual: float, context: str = "") ->
         assert expected == actual, f"{context}: expected {expected}, got {actual}"
     else:
         assert abs(expected - actual) < 1e-9, f"{context}: expected {expected}, got {actual}"
+
+
+def random_mixed_batch(graph: Graph, num_updates: int, seed: int) -> UpdateBatch:
+    """A batch whose chains repeatedly hit the same edges with both kinds.
+
+    Each update replaces a random edge's *current* weight (tracked across
+    the batch, so chains stay valid) with a fresh uniform draw -- the mix of
+    increases, decreases and repeated edges the batch engines must coalesce.
+    Shared by the shard, parallel and engine-equivalence suites.
+    """
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    current = {(u, v): w for u, v, w in edges}
+    batch = UpdateBatch()
+    for _ in range(num_updates):
+        u, v, _ = edges[rng.randrange(len(edges))]
+        old = current[(u, v)]
+        new = round(rng.uniform(0.5, 40.0), 1)
+        batch.append(EdgeUpdate(u, v, old, new))
+        current[(u, v)] = new
+    return batch
+
+
+def paired_indexes(
+    graph: Graph, leaf_size: int = 8
+) -> tuple[StableTreeLabelling, StableTreeLabelling]:
+    """Two indexes sharing one hierarchy/label build, on independent graphs.
+
+    The hierarchy is weight-independent and safe to share; the graph and the
+    labels are copied so the two indexes maintain fully independent state --
+    the setup every cross-engine comparison test starts from.
+    """
+    serial = StableTreeLabelling.build(graph.copy(), HierarchyOptions(leaf_size=leaf_size))
+    other = StableTreeLabelling(graph.copy(), serial.hierarchy, serial.labels.copy())
+    return serial, other
 
 
 @pytest.fixture

@@ -1,0 +1,129 @@
+"""Cross-engine equivalence: every engine x backend pair vs a fresh rebuild.
+
+The batch layer now exposes a joint crossover -- two engine families
+(``pareto``, ``label_search``) times three shard backends (``serial``,
+``thread``, ``process``).  All six pairs promise *entry-wise identical*
+labels; this suite is the promise's enforcement, parametrized over the full
+matrix and three workload shapes:
+
+* the Figure 10 workload (``mixed_update_stream`` halves, the shape the
+  benchmarks replay),
+* multi-round random mixed batches (repeated edges, both kinds, chains),
+* a degenerate plan whose updates *all* touch the separator (nothing to
+  shard -- the backends must degrade to their serial engines).
+
+Every scenario asserts against :meth:`repro.core.labelling.STLLabels
+.differences` with labels rebuilt from scratch on the final weights -- the
+strongest oracle available, independent of any maintenance code path.
+
+CI runs this file as its own matrix job with a hard timeout and
+``-p no:cacheprovider`` (it spawns real worker processes), mirroring the
+``test_parallel.py`` treatment; the tier-1 step skips it for the same
+reason.
+"""
+
+import pytest
+
+from repro.core.batch import BatchPolicy
+from repro.core.labelling import build_labels
+from repro.core.shard import ShardPlanner
+from repro.core.stl import StableTreeLabelling
+from repro.graph.updates import EdgeUpdate, UpdateBatch
+from repro.hierarchy.builder import HierarchyOptions
+from repro.workloads.updates import mixed_update_stream
+from tests.conftest import random_mixed_batch
+
+ENGINES = ("pareto", "label_search")
+BACKENDS = ("serial", "thread", "process")
+
+#: More workers than CI runners have cores, so the multi-worker ownership
+#: merge is exercised even on small boxes (same constant as test_parallel).
+WORKERS = 4
+
+
+@pytest.fixture(params=[f"{e}-{b}" for e in ENGINES for b in BACKENDS])
+def engine_backend(request):
+    """One (engine, backend) cell of the equivalence matrix."""
+    engine, backend = request.param.split("-")
+    return engine, backend
+
+
+@pytest.fixture
+def stl(small_grid):
+    """A fresh index per test, closed afterwards (kills any worker pool).
+
+    The rebuild crossover is disabled: on a graph this small it would
+    otherwise swallow every batch, and a rebuild is trivially equal to the
+    rebuild oracle -- the engines must do the maintaining themselves here.
+    """
+    index = StableTreeLabelling.build(small_grid.copy(), HierarchyOptions(leaf_size=8))
+    index.batch_policy = BatchPolicy(rebuild_fraction=None, max_workers=WORKERS)
+    yield index
+    index.close()
+
+
+def assert_matches_rebuild(index: StableTreeLabelling) -> None:
+    """The maintained labels equal a from-scratch build on the final graph."""
+    fresh = build_labels(index.graph, index.hierarchy)
+    diffs = index.labels.differences(fresh)
+    assert diffs == [], f"{len(diffs)} label entries diverged: {diffs[:5]}"
+
+
+class TestEngineBackendMatrix:
+    def test_figure10_workload_matches_rebuild(self, stl, engine_backend):
+        """The benchmark workload: the increase half, then the restoring
+        decrease half, through one matrix cell."""
+        engine, backend = engine_backend
+        stream = mixed_update_stream(stl.graph, 80, factor=2.0, seed=21)
+        stl.apply_batch(stream.increases(), parallel=backend, engine=engine)
+        assert_matches_rebuild(stl)
+        stl.apply_batch(stream.decreases(), parallel=backend, engine=engine)
+        assert_matches_rebuild(stl)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_multi_round_mixed_batches_match_rebuild(self, stl, engine_backend, seed):
+        """Rounds of mixed batches with repeated edges: state carried across
+        rounds must stay exact, not just each round in isolation."""
+        engine, backend = engine_backend
+        for round_ in range(3):
+            batch = random_mixed_batch(stl.graph, 60, seed=seed * 10 + round_)
+            stl.apply_batch(batch, parallel=backend, engine=engine)
+        assert_matches_rebuild(stl)
+
+    def test_fully_separator_crossing_batch_matches_rebuild(self, stl, engine_backend):
+        """A batch made only of separator-touching edges: the plan has no
+        shardable updates, so every backend must degrade to its serial
+        engine -- the degenerate corner of the matrix."""
+        engine, backend = engine_backend
+        _, separator = ShardPlanner(stl.graph).regions()
+        sep = set(separator)
+        batch = UpdateBatch()
+        for u, v, w in stl.graph.edges():
+            if u in sep or v in sep:
+                batch.append(EdgeUpdate(u, v, w, round(w * 1.7, 3)))
+        assert len(batch) > 0, "separator touches no edges; scenario is vacuous"
+        stats = stl.apply_batch(batch, parallel=backend, engine=engine)
+        assert stats.updates_processed >= len(batch)
+        assert_matches_rebuild(stl)
+
+    def test_engines_agree_with_each_other(self, small_grid, engine_backend):
+        """Transitivity check in the other direction: every cell equals the
+        serial Pareto engine on the same stream (so any two cells agree)."""
+        engine, backend = engine_backend
+        reference = StableTreeLabelling.build(
+            small_grid.copy(), HierarchyOptions(leaf_size=8)
+        )
+        candidate = StableTreeLabelling(
+            small_grid.copy(), reference.hierarchy, reference.labels.copy()
+        )
+        policy = BatchPolicy(rebuild_fraction=None, max_workers=WORKERS)
+        reference.batch_policy = policy
+        candidate.batch_policy = policy
+        try:
+            for round_ in range(2):
+                batch = random_mixed_batch(reference.graph, 50, seed=100 + round_)
+                reference.apply_batch(batch, parallel=False, engine="pareto")
+                candidate.apply_batch(batch, parallel=backend, engine=engine)
+            assert candidate.labels.differences(reference.labels) == []
+        finally:
+            candidate.close()

@@ -5,13 +5,14 @@ import random
 
 import pytest
 
+from repro.core.batch_label_search import BatchedLabelSearchEngine
 from repro.core.label_search import LabelSearchDecrease, LabelSearchIncrease
 from repro.core.labelling import build_labels, verify_labels
 from repro.core.query import query_distance
 from repro.graph.updates import EdgeUpdate
 from repro.hierarchy.builder import HierarchyOptions, build_hierarchy
 from repro.utils.errors import UpdateError
-from tests.conftest import nx_all_pairs
+from tests.conftest import nx_all_pairs, random_mixed_batch
 
 
 def _build(graph, leaf_size=8):
@@ -136,3 +137,37 @@ class TestRandomisedSequences:
         merged = stats
         merged.merge(stats)
         assert merged.updates_processed == 2
+
+
+class TestBatchedEngine:
+    """Regression coverage for the batched Label Search engine (PR 7)."""
+
+    def test_repeated_batches_stay_exact(self, small_grid):
+        """Label Search mirror of the sharded engine's regression: repeated
+        mixed batches land on labels whose entries were rewritten by earlier
+        repairs, so a marking predicate that is too strict (or an
+        old-shortest-path test that drifted from ``on_old_shortest_path``)
+        silently loses increase deltas only from round two onward."""
+        hierarchy, labels = _build(small_grid)
+        engine = BatchedLabelSearchEngine(small_grid, hierarchy, labels)
+        for round_ in range(3):
+            batch = random_mixed_batch(small_grid, 40, seed=round_)
+            engine.apply(batch.coalesce(small_grid).updates)
+            _assert_labels_exact(small_grid, hierarchy, labels)
+
+    def test_matches_per_kind_classes(self, small_grid):
+        """The batch lift changes scheduling, not results: one mixed batch
+        through the engine equals the per-kind classes applied serially."""
+        hierarchy, labels = _build(small_grid)
+        other = small_grid.copy()
+        other_labels = labels.copy()
+        engine = BatchedLabelSearchEngine(small_grid, hierarchy, labels)
+        batch = random_mixed_batch(small_grid, 30, seed=9).coalesce(small_grid)
+        engine.apply(batch.updates)
+        increases = batch.increases()
+        decreases = batch.decreases()
+        if len(increases):
+            LabelSearchIncrease(other, hierarchy, other_labels).apply(increases)
+        if len(decreases):
+            LabelSearchDecrease(other, hierarchy, other_labels).apply(decreases)
+        assert labels.differences(other_labels) == []

@@ -26,32 +26,11 @@ from repro.graph.updates import EdgeUpdate, UpdateBatch
 from repro.hierarchy.builder import HierarchyOptions
 from repro.utils.errors import UpdateError
 from repro.workloads.updates import mixed_update_stream
+from tests.conftest import paired_indexes, random_mixed_batch
 
 #: Worker count used throughout: more workers than this box has cores, so
 #: the multi-worker ownership merge is exercised even on a 1-CPU runner.
 WORKERS = 4
-
-
-def random_mixed_batch(graph, num_updates, seed):
-    """A batch whose chains repeatedly hit the same edges with both kinds."""
-    rng = random.Random(seed)
-    edges = list(graph.edges())
-    current = {(u, v): w for u, v, w in edges}
-    batch = UpdateBatch()
-    for _ in range(num_updates):
-        u, v, _ = edges[rng.randrange(len(edges))]
-        old = current[(u, v)]
-        new = round(rng.uniform(0.5, 40.0), 1)
-        batch.append(EdgeUpdate(u, v, old, new))
-        current[(u, v)] = new
-    return batch
-
-
-def paired_indexes(graph, leaf_size=8):
-    """Two indexes sharing one hierarchy/label build, on independent graphs."""
-    serial = StableTreeLabelling.build(graph.copy(), HierarchyOptions(leaf_size=leaf_size))
-    other = StableTreeLabelling(graph.copy(), serial.hierarchy, serial.labels.copy())
-    return serial, other
 
 
 @pytest.fixture
@@ -316,13 +295,25 @@ class TestBackendSelection:
         finally:
             stl.close()
 
-    def test_label_search_mode_rejects_process(self, small_grid):
-        stl = StableTreeLabelling.build(
+    def test_label_search_mode_runs_process(self, small_grid):
+        """Label-search mode runs on the process backend (PR 7 lifted the
+        pre-PR-7 ValueError) and stays entry-wise equal to the serial engine."""
+        serial = StableTreeLabelling.build(
             small_grid.copy(), HierarchyOptions(leaf_size=8), maintenance="label_search"
         )
-        batch = random_mixed_batch(stl.graph, 5, seed=3)
-        with pytest.raises(ValueError, match="pareto"):
-            stl.apply_batch(batch, parallel="process")
+        par = StableTreeLabelling(
+            small_grid.copy(), serial.hierarchy, serial.labels.copy(),
+            maintenance="label_search",
+        )
+        try:
+            batch = random_mixed_batch(serial.graph, 50, seed=3)
+            serial.apply_batch(batch, parallel=False)
+            stats = par.apply_batch(batch, parallel="process")
+            assert stats.extra["sharded"] == 1
+            assert stats.extra["label_search_engine"] == 1
+            assert par.labels.differences(serial.labels) == []
+        finally:
+            par.close()
 
 
 class TestSharedMemoryResidency:

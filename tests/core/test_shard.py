@@ -1,38 +1,15 @@
 """Unit tests for sharded parallel batch maintenance (core/shard.py)."""
 
-import random
-
 import pytest
 
 from repro.core.batch import BatchedParetoEngine, BatchPolicy
 from repro.core.labelling import verify_labels
 from repro.core.shard import ShardedBatchEngine, ShardPlanner, default_num_shards
 from repro.core.stl import StableTreeLabelling
-from repro.graph.updates import EdgeUpdate, UpdateBatch
+from repro.graph.updates import EdgeUpdate
 from repro.hierarchy.builder import HierarchyOptions
 from repro.utils.errors import UpdateError
-
-
-def random_mixed_batch(graph, num_updates, seed):
-    """A batch whose chains repeatedly hit the same edges with both kinds."""
-    rng = random.Random(seed)
-    edges = list(graph.edges())
-    current = {(u, v): w for u, v, w in edges}
-    batch = UpdateBatch()
-    for _ in range(num_updates):
-        u, v, _ = edges[rng.randrange(len(edges))]
-        old = current[(u, v)]
-        new = round(rng.uniform(0.5, 40.0), 1)
-        batch.append(EdgeUpdate(u, v, old, new))
-        current[(u, v)] = new
-    return batch
-
-
-def paired_indexes(graph, leaf_size=8):
-    """Two indexes sharing one hierarchy/label build, on independent graphs."""
-    serial = StableTreeLabelling.build(graph.copy(), HierarchyOptions(leaf_size=leaf_size))
-    sharded = StableTreeLabelling(graph.copy(), serial.hierarchy, serial.labels.copy())
-    return serial, sharded
+from tests.conftest import paired_indexes, random_mixed_batch
 
 
 class TestShardPlanner:
@@ -222,13 +199,22 @@ class TestPolicyCrossover:
         assert "rebuild_fallback" not in stats.extra
         assert verify_labels(stl.graph, stl.hierarchy, stl.labels) == []
 
-    def test_apply_batch_label_search_rejects_parallel(self, small_grid):
-        stl = StableTreeLabelling.build(
+    def test_apply_batch_label_search_runs_parallel(self, small_grid):
+        """Label-search mode shards on the thread backend (PR 7 lifted the
+        pre-PR-7 ValueError) and stays entry-wise equal to the serial engine."""
+        serial = StableTreeLabelling.build(
             small_grid.copy(), HierarchyOptions(leaf_size=8), maintenance="label_search"
         )
-        batch = random_mixed_batch(stl.graph, 5, seed=3)
-        with pytest.raises(ValueError):
-            stl.apply_batch(batch, parallel=True)
+        sharded = StableTreeLabelling(
+            small_grid.copy(), serial.hierarchy, serial.labels.copy(),
+            maintenance="label_search",
+        )
+        batch = random_mixed_batch(serial.graph, 50, seed=3)
+        serial.apply_batch(batch, parallel=False)
+        stats = sharded.apply_batch(batch, parallel=True)
+        assert stats.extra["sharded"] == 1
+        assert stats.extra["label_search_engine"] == 1
+        assert sharded.labels.differences(serial.labels) == []
 
     def test_policy_crossover_selects_sharded(self, small_grid):
         stl = StableTreeLabelling.build(small_grid.copy(), HierarchyOptions(leaf_size=8))

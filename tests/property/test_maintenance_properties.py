@@ -2,18 +2,24 @@
 
 The central invariant: after any sequence of weight updates, the maintained
 labels are identical to labels rebuilt from scratch on the updated graph --
-for both Label Search and Pareto Search, and for increases and decreases.
+for both Label Search and Pareto Search, per-update and batched, and for
+increases and decreases (including deletions to ``inf`` and restores back).
 """
+
+import math
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.baselines.dijkstra_oracle import DijkstraOracle
+from repro.core.batch import BatchPolicy
 from repro.core.labelling import build_labels
 from repro.core.stl import StableTreeLabelling
 from repro.graph.generators import random_connected_graph
-from repro.graph.updates import EdgeUpdate
+from repro.graph.updates import EdgeUpdate, UpdateBatch
 from repro.hierarchy.builder import HierarchyOptions
+from repro.utils.rng import make_rng
 
 SETTINGS = settings(
     max_examples=15,
@@ -100,8 +106,104 @@ def test_queries_remain_metric_after_updates(scenario):
     triples = [(0, n // 2, n - 1), (n // 3, 0, n // 2)]
     for a, b, c in triples:
         assert stl.query(a, b) == pytest.approx(stl.query(b, a))
-        import math
 
         dab, dac, dcb = stl.query(a, b), stl.query(a, c), stl.query(c, b)
         if not any(map(math.isinf, (dab, dac, dcb))):
             assert dab <= dac + dcb + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Randomized update streams through the batch engines (PR 7)
+# --------------------------------------------------------------------------- #
+
+#: Weight chains deliberately visit the awkward ends of the range: ``inf``
+#: models a deletion, ``1e15`` sits next to it (a finite weight that any
+#: float-overflow or isinf-confusion in the kernels would mangle), and
+#: ``restore`` brings a deleted edge back.
+_CHAIN_ACTIONS = ("up", "down", "delete", "near_inf", "restore")
+
+
+@st.composite
+def stream_scenarios(draw):
+    """A random graph plus multi-round batches with repeated edges and
+    deletion/restore chains, seeded through :func:`repro.utils.rng.make_rng`."""
+    n = draw(st.integers(min_value=8, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = random_connected_graph(n, 0.18, seed=seed)
+    edges = list(graph.edges())
+    rng = make_rng(seed + 1)
+    num_rounds = draw(st.integers(min_value=1, max_value=3))
+    current = {(u, v): w for u, v, w in edges}
+    rounds = []
+    for _ in range(num_rounds):
+        batch = []
+        for _ in range(draw(st.integers(min_value=2, max_value=10))):
+            u, v, _ = edges[rng.randrange(len(edges))]
+            old = current[(u, v)]
+            action = draw(st.sampled_from(_CHAIN_ACTIONS))
+            if action == "delete":
+                new = math.inf
+            elif action == "near_inf":
+                new = 1e15
+            elif action == "restore":
+                new = round(rng.uniform(1.0, 20.0), 1)
+            elif action == "up":
+                new = old * 2 if not math.isinf(old) else round(rng.uniform(1.0, 20.0), 1)
+            else:
+                new = max(0.5, old / 2) if not math.isinf(old) else 1.0
+            if new == old:
+                continue
+            batch.append((u, v, old, new))
+            current[(u, v)] = new
+        if batch:
+            rounds.append(batch)
+    return graph, rounds
+
+
+def _replay_batches(graph, rounds, engine):
+    stl = StableTreeLabelling.build(graph.copy(), HierarchyOptions(leaf_size=4))
+    stl.batch_policy = BatchPolicy(rebuild_fraction=None)
+    for batch in rounds:
+        updates = UpdateBatch(EdgeUpdate(u, v, old, new) for u, v, old, new in batch)
+        stl.apply_batch(updates, parallel=False, engine=engine)
+    return stl
+
+
+@SETTINGS
+@given(stream_scenarios())
+def test_batch_engines_agree_on_random_streams(scenario):
+    """Both engine families land on entry-wise identical labels after the
+    same stream -- and both equal a from-scratch rebuild."""
+    graph, rounds = scenario
+    pareto = _replay_batches(graph, rounds, "pareto")
+    label_search = _replay_batches(graph, rounds, "label_search")
+    assert pareto.labels.equals(label_search.labels), (
+        pareto.labels.differences(label_search.labels)[:5]
+    )
+    rebuilt = build_labels(pareto.graph, pareto.hierarchy)
+    assert pareto.labels.equals(rebuilt), pareto.labels.differences(rebuilt)[:5]
+
+
+@SETTINGS
+@given(stream_scenarios())
+def test_batch_engines_answer_queries_like_dijkstra(scenario):
+    """Query correctness against the Dijkstra oracle on the final weights --
+    catches any divergence the label-shape oracle cannot see (e.g. a wrong
+    but internally consistent labelling)."""
+    graph, rounds = scenario
+    stl = _replay_batches(graph, rounds, "label_search")
+    # Replay the stream through the oracle's own update path: Graph.copy()
+    # re-adds edges (finite-only), but set_weight accepts inf deletions.
+    oracle = DijkstraOracle.build(graph.copy())
+    for batch in rounds:
+        oracle.apply_batch(EdgeUpdate(u, v, old, new) for u, v, old, new in batch)
+    rng = make_rng(4242)
+    n = graph.num_vertices
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(10)]
+    for s, t in pairs:
+        expected = oracle.query(s, t)
+        actual = stl.query(s, t)
+        if math.isinf(expected) or math.isinf(actual):
+            assert expected == actual, f"({s}, {t}): {expected} vs {actual}"
+        else:
+            assert actual == pytest.approx(expected), f"({s}, {t})"
