@@ -10,12 +10,18 @@ regressed more than ``--threshold`` x against the committed baseline
 (``benchmarks/baseline.json``), or if the label store's estimated memory
 grew more than ``--memory-threshold`` x.
 
-Schema (``repro-perf-smoke/3``)::
+Schema (``repro-perf-smoke/4``)::
 
     {
-      "schema": "repro-perf-smoke/3",
+      "schema": "repro-perf-smoke/4",
       "dataset": "NY", "scale": 0.5, "updates": 600, "seed": 2025,
       "python": "3.11.7",
+      "queries": {             # batch_query kernel throughput
+        "pairs": 5000,
+        "default_kernel": "vector" | "scalar",   # import-time selection
+        "scalar_qps": ...,
+        "vector_qps": ... | null    # null on a no-numpy interpreter
+      },
       "series": {            # wall-clock seconds per strategy
         "construction": ...,
         "per_update": ...,
@@ -48,7 +54,10 @@ they are the strategies with the least scheduling noise (no pools), so a
 >2x change means a real algorithmic regression rather than a loaded
 runner.  The sharded series are recorded as a trajectory (CI uploads the
 JSON as an artifact per run) but not gated -- their wall-clocks depend on
-the runner's core count.  The memory guard keys on ``estimate_bytes``: it
+the runner's core count.  The query guard keys on ``vector_qps`` (when
+both the run and the baseline have one): the vectorised batch query is
+single-threaded and best-of-3, so a >2x throughput drop is a kernel
+regression, not noise.  The memory guard keys on ``estimate_bytes``: it
 is deterministic for a given workload, so any growth is a real change in
 label-store layout.
 
@@ -62,20 +71,25 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import random
 import resource
 import sys
 from pathlib import Path
 
 from repro.core.batch import BatchPolicy
 from repro.core.calibration import calibrate_engines, calibrate_shipping
+from repro.core.kernels import DEFAULT_KERNEL, HAS_NUMPY
 from repro.core.stl import StableTreeLabelling
-from repro.experiments.harness import measure_batched_seconds
+from repro.experiments.harness import measure_batch_query_qps, measure_batched_seconds
 from repro.hierarchy.builder import HierarchyOptions
 from repro.utils.timer import Timer
 from repro.workloads.datasets import build_dataset
 from repro.workloads.updates import mixed_update_stream
 
-SCHEMA = "repro-perf-smoke/3"
+SCHEMA = "repro-perf-smoke/4"
+
+#: Query pairs measured per kernel (same pairs for both).
+QUERY_PAIRS = 5_000
 
 #: Series gated by ``--check``; everything else is trajectory-only.
 GATED_SERIES = ("batched", "ls_batched")
@@ -87,6 +101,20 @@ def run_smoke(dataset: str, scale: float, updates: int, seed: int) -> dict:
     stl = StableTreeLabelling.build(graph, HierarchyOptions(leaf_size=8))
     stl.batch_policy = BatchPolicy(rebuild_fraction=None)
     series: dict[str, float] = {"construction": stl.construction_seconds}
+
+    rng = random.Random(seed)
+    pairs = [
+        (rng.randrange(graph.num_vertices), rng.randrange(graph.num_vertices))
+        for _ in range(QUERY_PAIRS)
+    ]
+    queries: dict[str, object] = {
+        "pairs": QUERY_PAIRS,
+        "default_kernel": DEFAULT_KERNEL,
+        "scalar_qps": measure_batch_query_qps(stl, pairs, kernel="scalar"),
+        "vector_qps": (
+            measure_batch_query_qps(stl, pairs, kernel="vector") if HAS_NUMPY else None
+        ),
+    }
 
     stream = mixed_update_stream(stl.graph, updates, factor=2.0, seed=seed)
     halves = (stream.increases(), stream.decreases())
@@ -129,6 +157,7 @@ def run_smoke(dataset: str, scale: float, updates: int, seed: int) -> dict:
         "updates": updates,
         "seed": seed,
         "python": platform.python_version(),
+        "queries": queries,
         "series": series,
         "memory": memory,
         "shipping": shipping,
@@ -157,6 +186,19 @@ def check_against_baseline(
         print(f"{key}: {measured:.3f}s vs baseline {reference:.3f}s "
               f"(x{ratio:.2f}, budget x{threshold:.1f}) -> {verdict}")
         if ratio > threshold:
+            code = 1
+
+    baseline_vector = baseline.get("queries", {}).get("vector_qps")
+    measured_vector = result["queries"]["vector_qps"]
+    if baseline_vector is None or measured_vector is None:
+        print("queries: no vector_qps on one side (no-numpy run?), skipping the guard")
+    else:
+        qps_ratio = baseline_vector / measured_vector if measured_vector > 0 else float("inf")
+        qps_verdict = "OK" if qps_ratio <= threshold else "REGRESSION"
+        print(f"vector batch_query: {measured_vector:,.0f} q/s vs baseline "
+              f"{baseline_vector:,.0f} q/s (x{qps_ratio:.2f} slowdown, "
+              f"budget x{threshold:.1f}) -> {qps_verdict}")
+        if qps_ratio > threshold:
             code = 1
 
     baseline_memory = baseline.get("memory", {}).get("estimate_bytes")
@@ -195,6 +237,13 @@ def main(argv: list[str] | None = None) -> int:
     result = run_smoke(args.dataset, args.scale, args.updates, args.seed)
     for name, seconds in result["series"].items():
         print(f"{name:>16}: {seconds:.3f}s")
+    queries = result["queries"]
+    line = (f"batch_query ({queries['pairs']} pairs, default={queries['default_kernel']}): "
+            f"scalar {queries['scalar_qps']:,.0f} q/s")
+    if queries["vector_qps"] is not None:
+        line += (f", vector {queries['vector_qps']:,.0f} q/s "
+                 f"(x{queries['vector_qps'] / queries['scalar_qps']:.1f})")
+    print(line)
     memory = result["memory"]
     print(f"label store: {memory['label_store_bytes']} B "
           f"(estimate {memory['estimate_bytes']} B), "

@@ -31,6 +31,11 @@ from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Iterable, Sequence
 
+from repro.core import kernels
+from repro.core.kernels import (  # noqa: F401 - MARK_SLACK is a back-compat re-export
+    MARK_SLACK,
+    on_old_shortest_path,
+)
 from repro.core.labelling import STLLabels
 from repro.graph.graph import Graph
 from repro.graph.updates import EdgeUpdate, UpdateKind
@@ -43,25 +48,12 @@ UNREACHABLE = math.inf
 #: vertex)`` -- the heap entry an unconfined drain would have pushed at a
 #: separator crossing.  The Label Search analogue of the Pareto escape
 #: records settled by :mod:`repro.core.parallel`.
+#:
+#: The ``on_old_shortest_path`` predicate and its ``MARK_SLACK`` tolerance
+#: (documented in :mod:`repro.core.kernels`, which also hosts their
+#: whole-row vectorised forms) are re-exported above -- the mark phases
+#: below and their historical importers keep using them from here.
 LabelSearchEscape = tuple[int, float, int]
-
-#: Relative slack for the mark phases' "does this old shortest path run
-#: through the updated edge" test (Algorithm 2 line 5 / Algorithm 4 line 17).
-#: Exact float equality only survives while every label entry is
-#: bitwise-identical to the left-to-right relaxation sum that built it;
-#: Pareto decrease repairs write entries as ``(endpoint path length) +
-#: (root label)`` -- a different association of the same real sum -- so after
-#: the first decrease an exact test silently misses affected entries and
-#: leaves them unrepaired, off by the full delta rather than an ulp.
-#: Over-marking, by contrast, is safe: every marked entry is re-derived by
-#: the respective repair phase, so the slack trades a sliver of extra repair
-#: work for robustness on any label state.
-MARK_SLACK = 1e-9
-
-
-def on_old_shortest_path(candidate: float, entry: float) -> bool:
-    """Whether ``candidate`` realises ``entry`` up to float re-association."""
-    return abs(candidate - entry) <= MARK_SLACK * max(1.0, entry)
 
 
 @dataclass
@@ -201,12 +193,31 @@ def seed_affected_queues(
     the through-the-edge tests tolerate float re-association via
     :func:`on_old_shortest_path` -- over-marking only costs repair work,
     under-marking loses the whole delta.
+
+    On long label rows the through-the-edge test runs as one whole-row
+    tolerance compare (:func:`repro.core.kernels.seed_affected_rows`) -- the
+    same float64 arithmetic as the scalar loop, so the seeded index set is
+    identical either way (regression-tested against the scalar predicate).
     """
     for update in increases:
         a, b = _orient(update, tau)
         w_old = update.old_weight
         label_a = labels[a]
         label_b = labels[b]
+        seeded = kernels.seed_affected_rows(label_a, label_b, w_old, tau[a] + 1)
+        if seeded is not None:
+            push_b, push_a = seeded
+            for i in push_b:
+                i = int(i)
+                queues.setdefault(i, [])
+                heappush(queues[i], (label_a[i] + w_old, b))
+                counters[0] += 1
+            for i in push_a:
+                i = int(i)
+                queues.setdefault(i, [])
+                heappush(queues[i], (label_b[i] + w_old, a))
+                counters[0] += 1
+            continue
         for i in range(tau[a] + 1):
             da, db = label_a[i], label_b[i]
             if math.isinf(da) or math.isinf(db):

@@ -67,7 +67,7 @@ class STLLabels:
     moving the buffer into and out of shared memory.
     """
 
-    __slots__ = ("_entries", "_offsets", "_view", "_rows")
+    __slots__ = ("_entries", "_offsets", "_view", "_rows", "_np_cache", "_epoch")
 
     def __init__(self, labels: Iterable[Iterable[float]]):
         entries = array("d")
@@ -103,7 +103,16 @@ class STLLabels:
         return self
 
     def _adopt(self, entries: Any, offsets: Any) -> None:
-        """Point the store at ``entries``/``offsets`` and rebuild row views."""
+        """Point the store at ``entries``/``offsets`` and rebuild row views.
+
+        Adopting a buffer invalidates the cached numpy views (see
+        :func:`repro.core.kernels.label_arrays`) and bumps
+        :attr:`buffer_epoch`: a cached ``frombuffer`` view shares memory
+        with the *old* buffer, so it stays coherent under in-place entry
+        writes but must never survive the buffer being replaced -- a
+        resident worker reading a stale view would read an unmapped (or
+        foreign) segment.
+        """
         self._entries = entries
         self._offsets = offsets
         view = entries if isinstance(entries, memoryview) else memoryview(entries)
@@ -111,9 +120,14 @@ class STLLabels:
             raise LabellingError(f"entries buffer must hold C doubles, got format {view.format!r}")
         self._view = view
         self._rows = [view[offsets[v] : offsets[v + 1]] for v in range(len(offsets) - 1)]
+        self._np_cache: Any = None
+        self._epoch = getattr(self, "_epoch", -1) + 1
 
     def _release_views(self) -> None:
         """Release every exported view over the current entries buffer."""
+        # The numpy cache holds a buffer export over ``_view``; drop it
+        # first or ``_view.release()`` raises BufferError.
+        self._np_cache = None
         for row in self._rows:
             row.release()
         self._rows = []
@@ -172,6 +186,20 @@ class STLLabels:
     def is_shared(self) -> bool:
         """Whether the entries live in an adopted external buffer (e.g. shm)."""
         return isinstance(self._entries, memoryview)
+
+    @property
+    def buffer_epoch(self) -> int:
+        """Generation counter of the underlying entries buffer.
+
+        Bumped every time the store adopts a new buffer (construction,
+        :meth:`share_into`, :meth:`unshare`) -- in-place entry writes do
+        *not* bump it, because views over the buffer stay coherent through
+        them.  :func:`repro.core.kernels.label_arrays` keys its cached
+        ndarray views on this: any adoption drops the cache, so a stale view
+        over a replaced (possibly unmapped shared-memory) buffer can never
+        be served.
+        """
+        return self._epoch
 
     def num_entries(self) -> int:
         """Total number of stored distance entries (Table 4, '# Label Entries')."""

@@ -33,6 +33,7 @@ import math
 from heapq import heappop, heappush
 from typing import Iterable, cast
 
+from repro.core import kernels
 from repro.core.label_search import (
     MaintenanceStats,
     _LabelSearchBase,
@@ -74,6 +75,13 @@ def interval_mark_search(
     followed.  Ties on distance are processed lowest-interval-first so the
     ``level(v)`` pruning never skips an unexamined level (see
     :meth:`ParetoSearchDecrease._search_and_repair`).
+
+    On wide active intervals the through-the-edge test of each pop runs as
+    one whole-row tolerance compare
+    (:func:`repro.core.kernels.interval_hit_levels`) -- the same float64
+    arithmetic as the scalar loop, so the marked level set is identical
+    either way; short intervals (and non-buffer label rows, e.g. worker
+    dict slices) keep the scalar loop.
     """
     level: dict[int, int] = {}
     heap: list[tuple[float, int, int, int]] = []
@@ -92,16 +100,22 @@ def interval_mark_search(
         label_v = labels[v]
         new_min = -1
         new_max = -1
-        hit_levels: list[int] = []
-        for i in range(active_min, active_max + 1):
-            root_dist = label_root[i]
-            if math.isinf(root_dist) or math.isinf(label_v[i]):
-                continue
-            if on_old_shortest_path(d + root_dist, label_v[i]):
-                hit_levels.append(i)
-                if new_min == -1:
-                    new_min = i
-                new_max = i
+        hit_levels = kernels.interval_hit_levels(d, label_root, label_v, active_min, active_max)
+        if hit_levels is not None:
+            if hit_levels:
+                new_min = hit_levels[0]
+                new_max = hit_levels[-1]
+        else:
+            hit_levels = []
+            for i in range(active_min, active_max + 1):
+                root_dist = label_root[i]
+                if math.isinf(root_dist) or math.isinf(label_v[i]):
+                    continue
+                if on_old_shortest_path(d + root_dist, label_v[i]):
+                    hit_levels.append(i)
+                    if new_min == -1:
+                        new_min = i
+                    new_max = i
 
         if new_min != -1:
             hits.setdefault(v, set()).update(hit_levels)

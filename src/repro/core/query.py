@@ -15,11 +15,36 @@ materialises a row object.
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
+from repro.core import kernels
 from repro.core.labelling import STLLabels
 from repro.hierarchy.tree import StableTreeHierarchy
 
 UNREACHABLE = math.inf
+
+
+def _prefix_bases(
+    hierarchy: StableTreeHierarchy,
+    labels: STLLabels,
+    s: int,
+    t: int,
+) -> tuple[int, int, int]:
+    """The shared offset/prefix scan prologue of every scalar query.
+
+    Validates the ids, then returns ``(prefix, base_s, base_t)``: the number
+    of common-ancestor entries to scan and the two rows' base offsets into
+    the flat entries buffer.  One implementation behind
+    :func:`query_distance`, :func:`query_with_hub` and the scalar kernel --
+    the block used to be copy-pasted into each.
+    """
+    if s < 0 or t < 0:
+        # Without this guard Python's negative indexing would silently answer
+        # for vertex n+s; too-large ids already raise from the lookups below.
+        raise IndexError(f"vertex ids must be non-negative, got ({s}, {t})")
+    prefix = hierarchy.num_common_ancestors(s, t)
+    offsets = labels.offsets
+    return prefix, offsets[s], offsets[t]
 
 
 def query_distance(
@@ -45,19 +70,14 @@ def query_distance(
         ...
     IndexError: vertex ids must be non-negative, got (-1, 5)
     """
-    if s < 0 or t < 0:
-        # Without this guard Python's negative indexing would silently answer
-        # for vertex n+s; too-large ids already raise from the lookups below.
-        raise IndexError(f"vertex ids must be non-negative, got ({s}, {t})")
     if s == t:
+        if s < 0:
+            raise IndexError(f"vertex ids must be non-negative, got ({s}, {t})")
         return 0.0
-    prefix = hierarchy.num_common_ancestors(s, t)
+    prefix, base_s, base_t = _prefix_bases(hierarchy, labels, s, t)
     if prefix <= 0:
         return UNREACHABLE
     entries = labels.view
-    offsets = labels.offsets
-    base_s = offsets[s]
-    base_t = offsets[t]
     # The common-ancestor entries are a consecutive prefix of both rows, so
     # the scan is a single pass over two zero-copy slices of the flat buffer
     # (the paper's cache-friendly query layout); min over a generator keeps
@@ -80,15 +100,12 @@ def query_with_hub(
     vertices are identical or disconnected).  Used by the examples to explain
     which separator level answered a query.
     """
-    if s < 0 or t < 0:
-        raise IndexError(f"vertex ids must be non-negative, got ({s}, {t})")
     if s == t:
+        if s < 0:
+            raise IndexError(f"vertex ids must be non-negative, got ({s}, {t})")
         return 0.0, -1
-    prefix = hierarchy.num_common_ancestors(s, t)
+    prefix, base_s, base_t = _prefix_bases(hierarchy, labels, s, t)
     entries = labels.view
-    offsets = labels.offsets
-    base_s = offsets[s]
-    base_t = offsets[t]
     best = UNREACHABLE
     hub = -1
     for i in range(prefix):
@@ -102,14 +119,23 @@ def query_with_hub(
 def batch_query(
     hierarchy: StableTreeHierarchy,
     labels: STLLabels,
-    pairs: list[tuple[int, int]],
+    pairs: Sequence[tuple[int, int]],
+    kernel: str | None = None,
 ) -> list[float]:
-    """Answer a batch of queries (used by the benchmark harness).
+    """Answer a batch of queries (used by the serving and benchmark paths).
+
+    Dispatches to :mod:`repro.core.kernels`: with numpy installed (the
+    ``repro[fast]`` extra) the whole batch runs as one fused gather +
+    segment-min over the CSR store; without it, one scalar
+    :func:`query_distance` per pair.  ``kernel`` pins ``"scalar"`` or
+    ``"vector"`` explicitly -- the answers are entry-wise identical.
 
     >>> from repro import StableTreeLabelling, generators
     >>> graph = generators.grid_road_network(4, 4, seed=7)
     >>> stl = StableTreeLabelling.build(graph)
     >>> batch_query(stl.hierarchy, stl.labels, [(0, 0), (3, 3)])
     [0.0, 0.0]
+    >>> batch_query(stl.hierarchy, stl.labels, [], kernel="scalar")
+    []
     """
-    return [query_distance(hierarchy, labels, s, t) for s, t in pairs]
+    return kernels.batch_query(hierarchy, labels, pairs, kernel)

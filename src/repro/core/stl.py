@@ -162,9 +162,18 @@ class StableTreeLabelling:
         check_vertex(t, self.graph.num_vertices)
         return query_with_hub(self.hierarchy, self.labels, s, t)
 
-    def batch_query(self, pairs: Iterable[tuple[int, int]]) -> list[float]:
-        """Answer many queries (delegates to :func:`repro.core.query.batch_query`)."""
-        return batch_query(self.hierarchy, self.labels, list(pairs))
+    def batch_query(
+        self, pairs: Iterable[tuple[int, int]], kernel: str | None = None
+    ) -> list[float]:
+        """Answer many queries (delegates to :func:`repro.core.query.batch_query`).
+
+        ``kernel`` selects the query kernel: ``"vector"`` (the fused numpy
+        gather + segment-min of :mod:`repro.core.kernels`, requires the
+        ``repro[fast]`` extra), ``"scalar"`` (the pure-Python loop), or
+        ``None`` for the import-time default.  Purely a performance choice:
+        both kernels return entry-wise identical answers.
+        """
+        return batch_query(self.hierarchy, self.labels, list(pairs), kernel)
 
     # ------------------------------------------------------------------ #
     # Maintenance

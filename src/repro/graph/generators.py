@@ -23,6 +23,11 @@ Three families are provided:
     Random points triangulated via Delaunay and sparsified -- a stand-in for
     rural / suburban networks with irregular geometry.
 
+``highway_grid_network``
+    A single perturbed grid sized by vertex count (10k-200k) with a sparse
+    lattice of fast arterial highways -- the paper-scale input for the
+    streaming benchmark, cheap enough to generate in pure Python.
+
 ``random_connected_graph``
     Small random connected graphs used by the property-based tests; not
     road-like, but great for adversarial coverage of the algorithms.
@@ -180,6 +185,71 @@ def city_road_network(
                 continue
             distance = _euclidean(coordinates[u], coordinates[v])
             graph.add_edge(u, v, _travel_time(distance, rng, speed=highway_speed, jitter=0.1))
+
+    connected, _ = largest_component(graph)
+    return connected
+
+
+def highway_grid_network(
+    num_vertices: int,
+    seed: int | random.Random | None = 0,
+    drop_probability: float = 0.03,
+    highway_spacing: int = 16,
+    highway_stride: int = 4,
+    highway_speed: float = 3.0,
+) -> Graph:
+    """Generate a paper-scale grid-plus-highway road network.
+
+    A near-square perturbed grid of about ``num_vertices`` vertices overlaid
+    with a sparse lattice of arterial highways: every ``highway_spacing``-th
+    row and column carries fast skip edges connecting every
+    ``highway_stride``-th intersection (travel time divided by
+    ``highway_speed``).  The arterials reproduce the property that makes
+    separator hierarchies shine on real road networks -- long-distance routes
+    funnel through a small set of fast corridors -- while staying O(n) to
+    generate, so the streaming benchmark can sweep 10k-200k vertices in pure
+    Python.  Deterministic for a given ``seed``; the largest component is
+    returned with dense ids.
+    """
+    check_positive_int(num_vertices, "num_vertices")
+    check_positive_int(highway_spacing, "highway_spacing")
+    check_positive_int(highway_stride, "highway_stride")
+    check_probability(drop_probability, "drop_probability")
+    rng = make_rng(seed)
+
+    cols = max(2, round(math.sqrt(num_vertices)))
+    rows = max(2, -(-num_vertices // cols))  # ceil division
+    total = rows * cols
+    coordinates = []
+    for r in range(rows):
+        for c in range(cols):
+            coordinates.append((c + rng.uniform(-0.2, 0.2), r + rng.uniform(-0.2, 0.2)))
+
+    graph = Graph(total, coordinates)
+    for r in range(rows):
+        base = r * cols
+        for c in range(cols):
+            v = base + c
+            if c + 1 < cols and rng.random() >= drop_probability:
+                graph.add_edge(v, v + 1, _travel_time(_euclidean(coordinates[v], coordinates[v + 1]), rng))
+            if r + 1 < rows and rng.random() >= drop_probability:
+                u = v + cols
+                graph.add_edge(v, u, _travel_time(_euclidean(coordinates[v], coordinates[u]), rng))
+
+    # Arterial lattice: fast skip edges along every spacing-th row/column.
+    # Jitter is kept low so arterials are reliably faster than the streets
+    # they bypass (otherwise they would not attract long-distance routes).
+    for r in range(0, rows, highway_spacing):
+        base = r * cols
+        for c in range(0, cols - highway_stride, highway_stride):
+            v, u = base + c, base + c + highway_stride
+            distance = _euclidean(coordinates[v], coordinates[u])
+            graph.add_edge(v, u, _travel_time(distance, rng, speed=highway_speed, jitter=0.05))
+    for c in range(0, cols, highway_spacing):
+        for r in range(0, rows - highway_stride, highway_stride):
+            v, u = r * cols + c, (r + highway_stride) * cols + c
+            distance = _euclidean(coordinates[v], coordinates[u])
+            graph.add_edge(v, u, _travel_time(distance, rng, speed=highway_speed, jitter=0.05))
 
     connected, _ = largest_component(graph)
     return connected

@@ -80,6 +80,12 @@ class StableTreeHierarchy:
     changes under edge-weight updates (that is the point of *stability*).
     """
 
+    #: Cache slot for :func:`repro.core.kernels.hierarchy_arrays` (flat
+    #: ndarray mirrors of the LCA machinery).  Declared here so the typed
+    #: core package can assign it; the hierarchy is immutable after
+    #: construction, so the cache never invalidates.
+    _kernel_arrays: object
+
     def __init__(self, num_vertices: int):
         self.nodes: list[TreeNode] = []
         #: node id of each vertex

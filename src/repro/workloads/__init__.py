@@ -7,6 +7,7 @@ from repro.workloads.queries import (
 )
 from repro.workloads.updates import (
     random_update_batch,
+    rush_hour_stream,
     scaling_update_batches,
     mixed_update_stream,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "random_query_pairs",
     "distance_stratified_query_sets",
     "random_update_batch",
+    "rush_hour_stream",
     "scaling_update_batches",
     "mixed_update_stream",
 ]

@@ -5,12 +5,17 @@
 * :func:`scaling_update_batches` -- the Figure 8 workload: batch ``t`` scales
   its edges by ``t + 1`` before restoring them,
 * :func:`mixed_update_stream` -- the Figure 10 workload: a long stream of
-  updates processed in groups of growing size (increases then decreases).
+  updates processed in groups of growing size (increases then decreases),
+* :func:`rush_hour_stream` -- a time-varying congestion stream: spatially
+  correlated weight bursts that swell toward a rush-hour peak and relax
+  back, one batch per time step.
 """
 
 from __future__ import annotations
 
+import math
 import random
+from collections import deque
 
 from repro.graph.graph import Graph
 from repro.graph.updates import EdgeUpdate, UpdateBatch
@@ -74,6 +79,96 @@ def scaling_update_batches(
         factor = float(t + 1)
         increases, decreases = random_update_batch(graph, batch_size, factor, seed=rng)
         batches.append((factor, increases, decreases))
+    return batches
+
+
+def _hotspot_edges(
+    graph: Graph, centre: int, radius: int
+) -> list[tuple[int, int, float]]:
+    """All edges with both endpoints within ``radius`` hops of ``centre``.
+
+    Hop-distance balls give the spatial correlation without requiring
+    coordinates, so the workload runs on any connected graph.
+    """
+    ball = {centre}
+    frontier = deque([(centre, 0)])
+    while frontier:
+        v, hops = frontier.popleft()
+        if hops == radius:
+            continue
+        for u, _ in graph.neighbors(v):
+            if u not in ball:
+                ball.add(u)
+                frontier.append((u, hops + 1))
+    edges = []
+    for u, v, w in graph.edges():
+        if u in ball and v in ball:
+            edges.append((u, v, w))
+    return edges
+
+
+def rush_hour_stream(
+    graph: Graph,
+    num_steps: int = 12,
+    num_hotspots: int = 3,
+    radius: int = 4,
+    peak_factor: float = 3.0,
+    seed: int | random.Random | None = 0,
+) -> list[UpdateBatch]:
+    """A rush-hour congestion stream: one coalescible batch per time step.
+
+    ``num_hotspots`` congested regions (hop-distance balls of ``radius``
+    around random centres) follow a shared bell-shaped intensity curve
+    peaking at ``num_steps / 2``: travel times within a hotspot swell toward
+    ``peak_factor`` x their free-flow value and relax back to exactly the
+    original weights by the final step.  Each step's batch holds one update
+    per edge whose (integer-valued) weight changed, with ``old_weight``
+    tracking the previous step -- so the batches must be applied in order,
+    and the full stream nets to zero.  This is the time-varying, spatially
+    correlated pattern the paper's streaming scenario models: increases on
+    the way into the peak, decreases on the way out, with heavy overlap
+    between consecutive batches.
+    """
+    if num_steps < 2:
+        raise WorkloadError(f"num_steps must be at least 2, got {num_steps}")
+    if peak_factor <= 1.0:
+        raise WorkloadError(f"peak_factor must exceed 1.0, got {peak_factor}")
+    check = graph.num_vertices
+    if check == 0:
+        raise WorkloadError("graph has no vertices")
+    rng = make_rng(seed)
+
+    affected: dict[tuple[int, int], float] = {}
+    for _ in range(num_hotspots):
+        centre = rng.randrange(graph.num_vertices)
+        for u, v, w in _hotspot_edges(graph, centre, radius):
+            affected.setdefault((u, v) if u < v else (v, u), w)
+    if not affected:
+        raise WorkloadError("hotspots cover no edges; increase radius")
+
+    # Bell curve over the step index, pinned to 0 at both ends so the final
+    # step restores every weight exactly (max(round(w * 1.0), 1) == w for the
+    # integer-valued weights the generators produce).
+    peak = (num_steps - 1) / 2.0
+    width = max(num_steps / 4.0, 1.0)
+
+    batches: list[UpdateBatch] = []
+    current = dict(affected)
+    for step in range(num_steps):
+        if step == num_steps - 1:
+            intensity = 0.0
+        else:
+            intensity = math.exp(-(((step - peak) / width) ** 2))
+            intensity -= math.exp(-((peak / width) ** 2))  # pin step 0 to ~0
+            intensity = max(intensity, 0.0)
+        batch = UpdateBatch()
+        for key in sorted(affected):
+            base = affected[key]
+            target = float(max(round(base * (1.0 + (peak_factor - 1.0) * intensity)), 1))
+            if target != current[key]:
+                batch.append(EdgeUpdate(key[0], key[1], current[key], target))
+                current[key] = target
+        batches.append(batch)
     return batches
 
 

@@ -339,6 +339,45 @@ class TestSharedMemoryResidency:
         assert not par.labels.is_shared, "close() must copy labels back out"
         assert serial.labels.equals(par.labels)
 
+    def test_numpy_cache_invalidated_across_residency_lifecycle(self, process_pair):
+        """The cached query views must never outlive a buffer adoption.
+
+        ``share_into`` (pool spawn) and ``unshare`` (``close()``) each adopt
+        a new entries buffer; a cached ``frombuffer`` view over the old one
+        would serve stale distances -- and a live view over the shm segment
+        would make ``memoryview.release()`` raise ``BufferError`` on close,
+        so this test also covers that ordering.
+        """
+        pytest.importorskip("numpy")
+        from repro.core.kernels import label_arrays
+
+        serial, engine, par, backend = process_pair
+        before = label_arrays(par.labels)
+        epoch = par.labels.buffer_epoch
+        pairs = [(0, v) for v in range(min(60, par.graph.num_vertices))]
+        par.batch_query(pairs, kernel="vector")  # cache is hot pre-share
+
+        batch = random_mixed_batch(serial.graph, 50, seed=39)
+        engine.apply(batch.coalesce(serial.graph).updates)
+        backend.apply(batch.coalesce(par.graph).updates)
+        assert par.labels.is_shared
+        assert par.labels.buffer_epoch > epoch, "share_into must bump the epoch"
+        shared = label_arrays(par.labels)
+        assert shared is not before, "cache must be rebuilt over the segment"
+        assert par.batch_query(pairs, kernel="vector") == par.batch_query(
+            pairs, kernel="scalar"
+        )
+
+        shared_epoch = par.labels.buffer_epoch
+        backend.close()  # would raise BufferError if the cache survived
+        assert not par.labels.is_shared
+        assert par.labels.buffer_epoch > shared_epoch
+        assert label_arrays(par.labels) is not shared
+        assert par.batch_query(pairs, kernel="vector") == par.batch_query(
+            pairs, kernel="scalar"
+        )
+        assert serial.labels.equals(par.labels)
+
     def test_pool_resize_unlinks_the_old_segment(self, process_pair):
         import os
 

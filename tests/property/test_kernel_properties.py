@@ -1,0 +1,91 @@
+"""Property-based tests: the scalar and vector query kernels always agree.
+
+The contract under test is *exact* entry-wise equality -- both kernels run
+the identical float64 additions and min-reductions, so no tolerance is
+allowed.  Disconnected graphs (``inf`` answers) and ``s == t`` pairs are
+generated on purpose; the whole module skips itself on the no-numpy CI leg
+(there is only one kernel to compare there).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels
+from repro.core.stl import StableTreeLabelling
+from repro.graph.generators import random_connected_graph
+from repro.graph.graph import Graph
+from repro.hierarchy.builder import HierarchyOptions
+
+pytestmark = pytest.mark.skipif(
+    not kernels.HAS_NUMPY, reason="requires numpy (repro[fast])"
+)
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs_maybe_disconnected(draw):
+    """One or two random connected components in a single vertex space.
+
+    Two components guarantee ``inf`` answers for every cross-component pair,
+    covering the disconnected branch of both kernels.
+    """
+    num_components = draw(st.integers(min_value=1, max_value=2))
+    parts = [
+        random_connected_graph(
+            draw(st.integers(min_value=2, max_value=25)),
+            draw(st.floats(min_value=0.0, max_value=0.25)),
+            seed=draw(st.integers(min_value=0, max_value=10_000)),
+        )
+        for _ in range(num_components)
+    ]
+    total = sum(part.num_vertices for part in parts)
+    graph = Graph(total)
+    offset = 0
+    for part in parts:
+        for u, v, w in part.edges():
+            graph.add_edge(u + offset, v + offset, w)
+        offset += part.num_vertices
+    return graph
+
+
+@st.composite
+def graphs_with_pairs(draw):
+    graph = draw(graphs_maybe_disconnected())
+    n = graph.num_vertices
+    ids = st.integers(min_value=0, max_value=n - 1)
+    pairs = draw(st.lists(st.tuples(ids, ids), min_size=0, max_size=80))
+    # Force the corner cases in even when the random draw misses them.
+    pairs += [(0, 0), (n - 1, n - 1), (0, n - 1)]
+    return graph, pairs
+
+
+class TestKernelAgreement:
+    @SETTINGS
+    @given(graphs_with_pairs())
+    def test_scalar_and_vector_agree_entrywise(self, case):
+        graph, pairs = case
+        stl = StableTreeLabelling.build(graph, HierarchyOptions(leaf_size=4))
+        scalar = stl.batch_query(pairs, kernel="scalar")
+        vector = stl.batch_query(pairs, kernel="vector")
+        assert scalar == vector
+
+    @SETTINGS
+    @given(graphs_with_pairs())
+    def test_agreement_survives_maintenance(self, case):
+        # Updates rewrite entries in place through the cached views; the
+        # kernels must agree on the *maintained* labels too.
+        graph, pairs = case
+        stl = StableTreeLabelling.build(graph, HierarchyOptions(leaf_size=4))
+        u, v, w = next(iter(graph.edges()))
+        from repro.graph.updates import EdgeUpdate
+
+        stl.apply_update(EdgeUpdate(u, v, w, w * 2.0))
+        assert stl.batch_query(pairs, kernel="scalar") == stl.batch_query(
+            pairs, kernel="vector"
+        )

@@ -6,6 +6,7 @@ from repro.graph.updates import UpdateKind
 from repro.workloads.updates import (
     mixed_update_stream,
     random_update_batch,
+    rush_hour_stream,
     scaling_update_batches,
 )
 from repro.utils.errors import WorkloadError
@@ -59,3 +60,51 @@ def test_update_generators_deduplicate_edges(small_grid):
     increases, _ = random_update_batch(small_grid, 30, seed=4)
     edges = [(u.u, u.v) if u.u < u.v else (u.v, u.u) for u in increases]
     assert len(edges) == len(set(edges))
+
+
+class TestRushHourStream:
+    def test_nets_to_zero_and_old_weights_track(self, small_grid):
+        graph = small_grid.copy()
+        original = {(u, v): w for u, v, w in graph.edges()}
+        for batch in rush_hour_stream(graph, num_steps=8, num_hotspots=2, radius=3, seed=1):
+            for update in batch:
+                # old_weight must match the live graph at application time.
+                assert graph.weight(update.u, update.v) == update.old_weight
+                graph.set_weight(update.u, update.v, update.new_weight)
+        assert {(u, v): w for u, v, w in graph.edges()} == original
+
+    def test_swells_then_relaxes(self, small_grid):
+        batches = rush_hour_stream(small_grid, num_steps=8, num_hotspots=2, radius=3, seed=1)
+        kinds = [
+            {update.kind for update in batch} for batch in batches if len(batch)
+        ]
+        assert kinds  # the hotspots covered some edges
+        assert kinds[0] == {UpdateKind.INCREASE}  # into the peak
+        assert kinds[-1] == {UpdateKind.DECREASE}  # out of it
+
+    def test_spatially_correlated(self, small_grid):
+        # Far fewer edges are touched than exist: the bursts are localised.
+        batches = rush_hour_stream(small_grid, num_steps=6, num_hotspots=1, radius=2, seed=2)
+        touched = {
+            (u.u, u.v) if u.u < u.v else (u.v, u.u)
+            for batch in batches
+            for u in batch
+        }
+        assert 0 < len(touched) < small_grid.num_edges / 2
+
+    def test_deterministic_for_seed(self, small_grid):
+        def flat(seed):
+            return [
+                (u.u, u.v, u.old_weight, u.new_weight)
+                for batch in rush_hour_stream(small_grid, num_steps=6, seed=seed)
+                for u in batch
+            ]
+
+        assert flat(7) == flat(7)
+        assert flat(7) != flat(8)
+
+    def test_parameter_validation(self, small_grid):
+        with pytest.raises(WorkloadError):
+            rush_hour_stream(small_grid, num_steps=1)
+        with pytest.raises(WorkloadError):
+            rush_hour_stream(small_grid, peak_factor=1.0)
