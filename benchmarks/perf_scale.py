@@ -53,6 +53,7 @@ import sys
 from pathlib import Path
 
 from repro.core.batch import BatchPolicy
+from repro.core.config import STLConfig
 from repro.core.kernels import HAS_NUMPY
 from repro.core.stl import StableTreeLabelling
 from repro.experiments.harness import measure_batch_query_qps
@@ -112,10 +113,11 @@ def measure_scale(
     for key, engine, backend in STRATEGIES:
         # The stream nets to zero, so after a full replay the labels are
         # back to the start state and the next strategy sees identical work.
+        config = STLConfig(backend=backend, engine=engine)
         timer = Timer()
         for batch in batches:
             with timer.measure():
-                stl.apply_batch(batch, parallel=backend, engine=engine)
+                stl.apply_batch(batch, config=config)
         per_batch[key] = timer.elapsed / nonempty
 
     result = {

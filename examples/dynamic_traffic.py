@@ -1,81 +1,127 @@
-"""Rush-hour simulation: a day of traffic on a multi-city road network.
+"""Rush hour over the wire: concurrent clients against the TCP front.
 
-The scenario the paper's introduction motivates: travel times rise during the
-morning peak, fall back at night, and the distance index must stay exact the
-whole time without ever being rebuilt.  The script replays such a day,
-compares the Pareto Search and Label Search maintenance strategies, and
-cross-checks a sample of queries against bidirectional Dijkstra.
+The scenario the paper's introduction motivates: travel times rise during
+the morning peak and fall back at night, and the distance index must stay
+exact the whole time without ever being rebuilt.  This example boots the
+full serving stack -- :class:`repro.QueryService` behind the JSON-lines
+TCP server (the same stack ``python -m repro.serve`` runs) -- then replays
+a rush-hour day while N client connections stream distance queries.  A
+sample of every client's answers is cross-checked against a Dijkstra
+oracle of the exact graph generation that produced it, demonstrating the
+RCU guarantee: answers are never torn between generations.
 
 Run with::
 
-    python examples/dynamic_traffic.py
+    PYTHONPATH=src python examples/dynamic_traffic.py
 """
 
+import asyncio
+import json
+import math
 import random
 
-from repro import StableTreeLabelling, generators
-from repro.baselines.dijkstra_oracle import DijkstraOracle
-from repro.graph.updates import EdgeUpdate
-from repro.utils.timer import Timer
+from repro import QueryServer, QueryService, generators
+from repro.algorithms.dijkstra import dijkstra_with_target
+from repro.workloads.updates import rush_hour_stream
 
 
-def simulate_day(stl: StableTreeLabelling, seed: int = 42, hours: int = 8) -> Timer:
-    """Apply one synthetic 'day' of congestion waves to the index."""
-    rng = random.Random(seed)
-    edges = list(stl.graph.edges())
-    timer = Timer()
-    congested: list[tuple[int, int, float]] = []
-
-    for hour in range(hours):
-        # Morning: congestion builds on a few arterial roads.
-        if hour < hours // 2:
-            for _ in range(10):
-                u, v, _ = edges[rng.randrange(len(edges))]
-                weight = stl.graph.weight(u, v)
-                factor = rng.choice([1.5, 2.0, 3.0])
-                with timer.measure():
-                    stl.increase_edge(u, v, weight * factor)
-                congested.append((u, v, weight))
-        # Evening: congestion clears in the order it appeared.
-        else:
-            while congested and rng.random() < 0.8:
-                u, v, original = congested.pop(0)
-                with timer.measure():
-                    stl.decrease_edge(u, v, original)
-    # Overnight everything clears.
-    for u, v, original in congested:
-        with timer.measure():
-            stl.decrease_edge(u, v, original)
-    return timer
+async def rpc(reader, writer, payload):
+    """One JSON-lines request/response on a persistent connection."""
+    writer.write((json.dumps(payload) + "\n").encode())
+    await writer.drain()
+    return json.loads(await reader.readline())
 
 
-def main() -> None:
+async def query_client(name, address, graph, oracle, num_queries, rng, tally):
+    """Stream random s-t queries; verify a sample against the oracle."""
+    reader, writer = await asyncio.open_connection(*address)
+    n = graph.num_vertices
+    states = oracle["states"]
+    try:
+        for i in range(num_queries):
+            s, t = rng.randrange(n), rng.randrange(n)
+            answer = await rpc(reader, writer, {"op": "query", "s": s, "t": t})
+            assert answer["ok"], answer
+            tally["answered"] += 1
+            if i % 10 == 0:  # oracle-check every 10th answer
+                version = max(v for v in states if v <= answer["version"])
+                candidates = [states[version]]
+                # A commit the updater has not mirrored yet may already be
+                # answering; such answers must match its staged state.
+                if oracle["pending"] is not None and answer["version"] > version:
+                    candidates.append(oracle["pending"])
+                got = math.inf if answer["distance"] is None else answer["distance"]
+                expected = [dijkstra_with_target(g, s, t) for g in candidates]
+                assert any(
+                    e == got if math.isinf(got) else abs(e - got) < 1e-6
+                    for e in expected
+                ), (
+                    f"{name}: ({s},{t}) tagged v{answer['version']} "
+                    f"answered {got}, oracle says {expected}"
+                )
+                tally["checked"] += 1
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+async def rush_hour(address, graph, oracle, steps, tally):
+    """Replay the congestion wave through the wire protocol, one batch per
+    tick, recording each committed generation's graph for the oracle."""
+    reader, writer = await asyncio.open_connection(*address)
+    states = oracle["states"]
+    try:
+        for batch in rush_hour_stream(graph.copy(), num_steps=steps, seed=42):
+            if not batch.updates:
+                continue
+            triples = [[u.u, u.v, u.new_weight] for u in batch.updates]
+            mirrored = states[max(states)].copy()
+            for u, v, w in triples:
+                mirrored.set_weight(u, v, w)
+            oracle["pending"] = mirrored
+            answer = await rpc(reader, writer, {"op": "update", "updates": triples})
+            assert answer["ok"], answer
+            states[answer["version"]] = mirrored
+            oracle["pending"] = None
+            tally["updates"] += len(triples)
+            await asyncio.sleep(0.01)
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+async def main() -> None:
     graph = generators.city_road_network(num_cities=3, city_rows=10, city_cols=10, seed=5)
     print(f"network: {graph.num_vertices} intersections across 3 cities")
 
-    results = {}
-    for mode in ("pareto", "label_search"):
-        stl = StableTreeLabelling.build(graph.copy(), maintenance=mode)
-        timer = simulate_day(stl, seed=42)
-        results[mode] = (stl, timer)
-        print(
-            f"{mode:13s}: {timer.count} weight updates maintained, "
-            f"average {timer.average_ms:.3f} ms per update"
-        )
+    # One mirrored graph copy per committed generation: the clients'
+    # ground truth for "what should version v have answered?".
+    oracle = {"states": {0: graph.copy()}, "pending": None}
+    tally = {"answered": 0, "checked": 0, "updates": 0}
 
-    # Cross-check: both maintained indexes agree with a fresh Dijkstra.
-    stl_pareto = results["pareto"][0]
-    oracle = DijkstraOracle.build(stl_pareto.graph)
-    rng = random.Random(1)
-    checked = 0
-    for _ in range(200):
-        s = rng.randrange(graph.num_vertices)
-        t = rng.randrange(graph.num_vertices)
-        expected = oracle.query(s, t)
-        assert abs(stl_pareto.query(s, t) - expected) < 1e-9
-        checked += 1
-    print(f"verified {checked} post-rush-hour queries against bidirectional Dijkstra")
+    service = QueryService(graph)
+    async with service, QueryServer(service) as server:
+        await service.wait_ready()
+        print(f"serving on {server.address[0]}:{server.address[1]}")
+
+        clients = [
+            query_client(f"client-{k}", server.address, graph, oracle, 40,
+                         random.Random(7 + k), tally)
+            for k in range(6)
+        ]
+        await asyncio.gather(*clients, rush_hour(server.address, graph, oracle, 12, tally))
+        stats = service.stats()
+
+    print(
+        f"rush hour replayed: {tally['updates']} weight updates in "
+        f"{stats['batches_committed']} batches, "
+        f"{stats['version']} generations published"
+    )
+    print(
+        f"6 concurrent clients answered {tally['answered']} queries during the wave; "
+        f"{tally['checked']} verified against the per-generation Dijkstra oracle"
+    )
 
 
 if __name__ == "__main__":
-    main()
+    asyncio.run(main())

@@ -1,71 +1,100 @@
-"""Ride-hailing dispatch: match riders to the closest available drivers.
+"""Ride-hailing dispatch against the always-on query service.
 
 Ride-hailing platforms answer millions of distance queries to pick the best
 driver for every request while traffic conditions shift underneath them --
-the motivating workload of the paper.  This example keeps a fleet of drivers
-on a road network, dispatches ride requests with k-nearest-driver queries
-over STL, and keeps the index exact as congestion changes between requests.
+the motivating workload of the paper.  This example runs the serving layer
+the way a dispatch tier would: several concurrent dispatcher tasks stream
+k-nearest-driver queries at a :class:`repro.QueryService` while a traffic
+feed lands ``rush_hour_stream`` congestion batches through the same
+service.  Readers never block on maintenance -- each commit is an atomic
+snapshot swap, and every answer is tagged with the generation that
+produced it.
 
 Run with::
 
-    python examples/ride_hailing.py
+    PYTHONPATH=src python examples/ride_hailing.py
 """
 
+import asyncio
 import random
 
-from repro import StableTreeLabelling, generators
-from repro.utils.timer import Timer
+from repro import QueryService, STLConfig, generators
+from repro.workloads.updates import rush_hour_stream
 
 
-def k_nearest_drivers(stl, drivers, pickup, k=3):
-    """The k drivers with the smallest travel time to the pickup point."""
-    ranked = sorted((stl.query(driver, pickup), driver) for driver in drivers)
-    return ranked[:k]
+async def nearest_driver(service, drivers, pickup):
+    """The driver with the smallest travel time to the pickup point."""
+    distances, version = await service.batch_distance(
+        [(driver, pickup) for driver in drivers]
+    )
+    eta, driver = min(zip(distances, drivers))
+    return eta, driver, version
 
 
-def main() -> None:
+async def dispatcher(name, service, drivers, num_requests, rng, log):
+    """One dispatch worker: serve ride requests as they arrive."""
+    served = 0
+    n = service.graph.num_vertices
+    for _ in range(num_requests):
+        pickup = rng.randrange(n)
+        eta, driver, version = await nearest_driver(service, sorted(drivers), pickup)
+        drivers.discard(driver)                      # driver takes the ride
+        drivers.add(rng.randrange(n))                # another comes online
+        served += 1
+        if len(log) < 5:
+            log.append(
+                f"  {name}: pickup at {pickup}, driver {driver} dispatched "
+                f"(cost {eta:.0f}, answered by generation v{version})"
+            )
+        await asyncio.sleep(0)                       # let traffic interleave
+    return served
+
+
+async def traffic_feed(service, graph, steps):
+    """Land one rush-hour congestion batch per tick, while dispatch runs."""
+    batches = rush_hour_stream(graph.copy(), num_steps=steps, num_hotspots=2, seed=9)
+    committed = 0
+    for batch in batches:
+        if not batch.updates:
+            continue
+        await service.submit([(u.u, u.v, u.new_weight) for u in batch.updates])
+        committed += len(batch.updates)
+        await asyncio.sleep(0.01)
+    return committed
+
+
+async def main() -> None:
     rng = random.Random(2025)
     graph = generators.city_road_network(num_cities=2, city_rows=12, city_cols=12, seed=9)
-    stl = StableTreeLabelling.build(graph)
     print(f"city network: {graph.num_vertices} intersections, {graph.num_edges} roads")
 
     drivers = set(rng.sample(range(graph.num_vertices), 40))
     print(f"fleet: {len(drivers)} drivers online")
 
-    edges = list(graph.edges())
-    dispatch_timer = Timer()
-    maintenance_timer = Timer()
-    served = 0
+    async with QueryService(graph, config=STLConfig()) as service:
+        await service.wait_ready()  # labelling built in the background
 
-    for request in range(50):
-        # Traffic drifts between requests: one road gets slower or faster.
-        u, v, _ = edges[rng.randrange(len(edges))]
-        weight = stl.graph.weight(u, v)
-        with maintenance_timer.measure():
-            if rng.random() < 0.5:
-                stl.increase_edge(u, v, weight * rng.choice([1.5, 2.0]))
-            else:
-                stl.decrease_edge(u, v, max(1.0, weight * 0.75))
+        log: list[str] = []
+        dispatchers = [
+            dispatcher(f"dispatcher-{k}", service, drivers, 15,
+                       random.Random(100 + k), log)
+            for k in range(4)
+        ]
+        results = await asyncio.gather(*dispatchers, traffic_feed(service, graph, 12))
+        print("\n".join(log))
 
-        # A rider requests a pickup at a random intersection.
-        pickup = rng.randrange(graph.num_vertices)
-        with dispatch_timer.measure():
-            best = k_nearest_drivers(stl, drivers, pickup, k=3)
-        if not best:
-            continue
-        eta, driver = best[0]
-        drivers.discard(driver)
-        drivers.add(rng.randrange(graph.num_vertices))  # a new driver comes online
-        served += 1
-        if request < 5:
-            print(f"request {request}: pickup at {pickup}, driver {driver} dispatched (cost {eta:.0f})")
-
-    print(
-        f"\nserved {served} requests | "
-        f"dispatch (40 distance queries each): {dispatch_timer.average_ms:.2f} ms avg | "
-        f"traffic update maintenance: {maintenance_timer.average_ms:.2f} ms avg"
-    )
+        served, updates = sum(results[:-1]), results[-1]
+        stats = service.stats()
+        print(
+            f"\nserved {served} requests across 4 concurrent dispatchers | "
+            f"{updates} traffic updates landed in {stats['batches_committed']} batches | "
+            f"{stats['version']} generations published"
+        )
+        print(
+            f"queries: {stats['fast_queries']} fast-path, "
+            f"{stats['fallback_queries']} fallback (pre-build tier)"
+        )
 
 
 if __name__ == "__main__":
-    main()
+    asyncio.run(main())

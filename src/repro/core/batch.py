@@ -69,7 +69,7 @@ from repro.core.pareto_search import ParetoSearchIncrease
 from repro.graph.graph import Graph
 from repro.graph.updates import EdgeUpdate, UpdateKind
 from repro.hierarchy.tree import StableTreeHierarchy
-from repro.utils.errors import UpdateError
+from repro.utils.errors import ConfigError, UpdateError
 
 
 #: The engine names ``apply_batch(engine=...)`` accepts (sorted for the
@@ -83,14 +83,15 @@ def normalize_engine(engine: str | None) -> str | None:
     ``None`` means "let :meth:`BatchPolicy.engine_for` (or the index's
     maintenance mode) decide" and is returned unchanged; the explicit names
     ``"pareto"`` / ``"label_search"`` select a batch engine directly.
-    Anything else raises :class:`ValueError` naming the allowed set.
+    Anything else raises :class:`repro.utils.errors.ConfigError` (a
+    :class:`ValueError` subclass) naming the allowed set.
     """
     if engine is None:
         return None
     if isinstance(engine, str) and engine in ENGINE_NAMES:
         return engine
     allowed = ", ".join(repr(name) for name in ENGINE_NAMES)
-    raise ValueError(
+    raise ConfigError(
         f"unknown batch engine {engine!r}; allowed engines: {allowed} (or None)"
     )
 

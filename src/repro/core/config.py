@@ -1,0 +1,118 @@
+"""The one configuration object of the public API.
+
+Eight PRs of growth left :meth:`repro.core.stl.StableTreeLabelling` with a
+pile of accreted per-call knobs -- ``apply_batch(parallel=..., engine=...,
+policy=...)``, ``batch_query(kernel=...)``, ``build(maintenance=...)`` --
+each validated in a different module with a different failure mode.
+:class:`STLConfig` subsumes them into one frozen dataclass with one shared
+validator:
+
+========== =========================================== ====================
+field      selects                                     values
+========== =========================================== ====================
+backend    shard backend for batch maintenance         ``None`` / ``"serial"``
+                                                       / ``"thread"`` /
+                                                       ``"process"``
+engine     batch engine family                         ``None`` / ``"pareto"``
+                                                       / ``"label_search"``
+kernel     query kernel for ``batch_query``            ``None`` / ``"scalar"``
+                                                       / ``"vector"``
+policy     crossover thresholds                        a :class:`BatchPolicy`
+                                                       or ``None``
+========== =========================================== ====================
+
+``None`` always means "let the measured crossovers decide" -- the same
+meaning the old per-call kwargs gave it.  Validation happens **at
+construction**: a typo'd backend name fails where the config is written,
+not batches later inside ``apply_batch``, and every validation failure is a
+:class:`repro.utils.errors.ConfigError` (a ``ValueError`` subclass, so
+pre-redesign ``except ValueError`` handlers keep working).
+
+Instances are immutable and hashable; derive variants with
+:meth:`STLConfig.replace`::
+
+    base = STLConfig(engine="label_search")
+    forced = base.replace(backend="process")
+
+The facade :func:`repro.open_network` attaches a config to a new index, and
+the per-call ``config=`` parameters of ``apply_batch`` / ``batch_query``
+override it batch by batch.  The old kwargs still work through a
+deprecation shim (see docs/api.md for the migration table) but warn.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.batch import BatchPolicy, normalize_engine
+from repro.core.kernels import normalize_kernel
+from repro.core.shard import normalize_parallel
+from repro.utils.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class STLConfig:
+    """Frozen configuration for an STL index (see the module docstring).
+
+    All fields default to ``None`` -- "decide by measured crossover" -- so
+    ``STLConfig()`` is the legacy default behaviour.  ``backend`` also
+    accepts the legacy boolean spellings of the old ``parallel=`` kwarg
+    (``True`` -> ``"thread"``, ``False`` -> ``"serial"``); they are
+    normalised at construction so two spellings of one config compare
+    equal.
+    """
+
+    backend: str | bool | None = None
+    engine: str | None = None
+    kernel: str | None = None
+    policy: BatchPolicy | None = None
+
+    def __post_init__(self) -> None:
+        # One shared validator: the same normalizers the per-call kwargs
+        # used, run once at construction.  ``backend`` is stored normalised
+        # (booleans folded to their names) so equality and hashing see one
+        # canonical spelling.
+        object.__setattr__(self, "backend", normalize_parallel(self.backend))
+        normalize_engine(self.engine)
+        # ``kernel`` is validated for *name* here but availability
+        # (numpy present) is checked too: a config that names the vector
+        # kernel on an interpreter that cannot run it is a configuration
+        # error at the config site, not at the first query.
+        if self.kernel is not None:
+            normalize_kernel(self.kernel)
+        if self.policy is not None and not isinstance(self.policy, BatchPolicy):
+            raise ConfigError(
+                f"policy must be a BatchPolicy or None, got {type(self.policy).__name__}"
+            )
+
+    @property
+    def maintenance(self) -> str:
+        """The per-update maintenance mode this config implies.
+
+        The ``engine`` field names the batch engine family; the per-update
+        algorithms of the same family serve single updates, so the two
+        selections collapse into one: ``"label_search"`` when the engine is
+        Label Search, the default ``"pareto"`` otherwise.
+        """
+        return "label_search" if self.engine == "label_search" else "pareto"
+
+    def replace(self, **changes: Any) -> "STLConfig":
+        """A copy with ``changes`` applied (re-validated on construction)."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> str:
+        """Compact human-readable summary (used by service stats/logs)."""
+        parts = [
+            f"{name}={getattr(self, name)!r}"
+            for name in ("backend", "engine", "kernel")
+            if getattr(self, name) is not None
+        ]
+        if self.policy is not None:
+            parts.append("policy=custom")
+        return "STLConfig(" + ", ".join(parts) + ")" if parts else "STLConfig(auto)"
+
+
+#: The config every index without an explicit one runs under.
+DEFAULT_CONFIG = STLConfig()

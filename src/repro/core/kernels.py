@@ -43,6 +43,8 @@ import math
 from array import array
 from typing import TYPE_CHECKING, Any, Sequence
 
+from repro.utils.errors import ConfigError
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.core.labelling import STLLabels
     from repro.hierarchy.tree import StableTreeHierarchy
@@ -105,19 +107,21 @@ def normalize_kernel(kernel: str | None) -> str:
     ``None`` resolves to :data:`DEFAULT_KERNEL` (``"vector"`` when numpy
     imported at module load, ``"scalar"`` otherwise).  An explicit
     ``"vector"`` without numpy raises -- silently degrading an explicit
-    request would make benchmark labels lie.
+    request would make benchmark labels lie.  Bad names raise
+    :class:`repro.utils.errors.ConfigError` (a :class:`ValueError`
+    subclass).
     """
     if kernel is None:
         return DEFAULT_KERNEL
     if kernel in KERNEL_NAMES:
         if kernel == "vector" and not HAS_NUMPY:
-            raise ValueError(
+            raise ConfigError(
                 "kernel='vector' requires numpy, which is not installed; "
                 "install the repro[fast] extra or use kernel='scalar'"
             )
         return kernel
     allowed = ", ".join(repr(name) for name in KERNEL_NAMES)
-    raise ValueError(
+    raise ConfigError(
         f"unknown query kernel {kernel!r}; allowed kernels: {allowed} (or None)"
     )
 

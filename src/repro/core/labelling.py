@@ -67,7 +67,16 @@ class STLLabels:
     moving the buffer into and out of shared memory.
     """
 
-    __slots__ = ("_entries", "_offsets", "_view", "_rows", "_np_cache", "_epoch")
+    __slots__ = (
+        "_entries",
+        "_offsets",
+        "_view",
+        "_rows",
+        "_np_cache",
+        "_epoch",
+        "_pins",
+        "_drained_callbacks",
+    )
 
     def __init__(self, labels: Iterable[Iterable[float]]):
         entries = array("d")
@@ -122,6 +131,8 @@ class STLLabels:
         self._rows = [view[offsets[v] : offsets[v + 1]] for v in range(len(offsets) - 1)]
         self._np_cache: Any = None
         self._epoch = getattr(self, "_epoch", -1) + 1
+        self._pins: int = getattr(self, "_pins", 0)
+        self._drained_callbacks: list[Any] = getattr(self, "_drained_callbacks", [])
 
     def _release_views(self) -> None:
         """Release every exported view over the current entries buffer."""
@@ -224,6 +235,71 @@ class STLLabels:
         entries = array("d")
         entries.frombytes(self._view.tobytes())
         return STLLabels.from_flat(entries, array("q", self._offsets))
+
+    def snapshot_store(self) -> "STLLabels":
+        """An independent copy of the entries sharing this store's offsets.
+
+        The serving layer's shadow-copy step: one ``memcpy`` of the flat
+        entries buffer, with the offsets array *shared* between the two
+        stores -- offsets are fixed by the hierarchy and treated as
+        immutable everywhere, so the snapshot saves ``n + 1`` positions of
+        allocation and the shape comparison in :meth:`load_from` stays an
+        O(1) identity hit.  True copy-on-*write* (sharing entries until the
+        first mutation) is not possible here: engines write through raw
+        ``memoryview`` rows with no hook to intercept, so the copy happens
+        eagerly at the swap boundary instead (see
+        :class:`repro.core.snapshot.LabelSnapshot`).
+        """
+        entries = array("d")
+        entries.frombytes(self._view.tobytes())
+        return STLLabels.from_flat(entries, self._offsets)
+
+    # ------------------------------------------------------------------ #
+    # Reader pinning (epoch-based reclamation support)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pinned(self) -> bool:
+        """Whether any reader currently holds a pin on this store."""
+        return self._pins > 0
+
+    @property
+    def pin_count(self) -> int:
+        """Number of outstanding reader pins."""
+        return self._pins
+
+    def pin(self) -> None:
+        """Register an in-flight reader of this store.
+
+        Used by :class:`repro.core.snapshot.LabelSnapshot` readers so that
+        teardown paths (:meth:`release_views`-style buffer releases,
+        :meth:`repro.core.stl.StableTreeLabelling.close`) can defer until
+        every reader finished -- the epoch-reclamation handshake of the
+        serving layer.  Pin bookkeeping is not thread-safe by itself; the
+        service confines it to the event-loop thread.
+        """
+        self._pins += 1
+
+    def unpin(self) -> None:
+        """Release one reader pin; fires deferred callbacks on the last one."""
+        if self._pins <= 0:
+            raise LabellingError("unpin() without a matching pin()")
+        self._pins -= 1
+        if self._pins == 0 and self._drained_callbacks:
+            callbacks, self._drained_callbacks = self._drained_callbacks, []
+            for callback in callbacks:
+                callback()
+
+    def defer_until_drained(self, callback: Any) -> None:
+        """Run ``callback`` once no reader pins remain (immediately if none).
+
+        Callbacks fire at most once, in registration order, from within the
+        :meth:`unpin` call that drops the last pin.
+        """
+        if self._pins == 0:
+            callback()
+        else:
+            self._drained_callbacks.append(callback)
 
     def load_from(self, other: "STLLabels") -> None:
         """Copy every entry from ``other`` through the live buffer.

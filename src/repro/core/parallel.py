@@ -621,6 +621,26 @@ class ProcessShardBackend:
         self._sync_positions = [position] * count
         self._sync_structures = [structure] * count
 
+    def rebind(self, labels: STLLabels) -> None:
+        """Re-point the backend at a different label store (snapshot swap).
+
+        The serving layer's shadow-copy step replaces the writer's store
+        wholesale, and the resident workers' state maps the *old* store's
+        shared segment -- so the pool is shut down and every serial engine
+        is rebuilt over ``labels``; the next batch lazily respawns the pool
+        over a fresh segment carved from the new store.  A swap therefore
+        costs one pool restart, paid by the first batch after the swap, not
+        by queries.  Unsharing the old store is value-preserving (entries
+        move to a private buffer byte-for-byte and its ``buffer_epoch``
+        advances, invalidating cached kernel views), so snapshot readers
+        still pinning it keep reading correct data.
+        """
+        self.close()
+        self.labels = labels
+        self._serial = BatchedParetoEngine(self.graph, self.hierarchy, labels)
+        self._serial_ls = BatchedLabelSearchEngine(self.graph, self.hierarchy, labels)
+        self._increase = ParetoSearchIncrease(self.graph, self.hierarchy, labels)
+
     def close(self) -> None:
         """Shut the pool down and unlink the shared segment (idempotent)."""
         if self._workers is not None:

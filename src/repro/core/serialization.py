@@ -25,13 +25,16 @@ import json
 import math
 import os
 from array import array
-from typing import Iterable, Mapping, TextIO
+from typing import TYPE_CHECKING, Iterable, Mapping, TextIO
 
 from repro.core.labelling import STLLabels
 from repro.core.stl import StableTreeLabelling
 from repro.graph.graph import Graph
 from repro.hierarchy.tree import StableTreeHierarchy
 from repro.utils.errors import LabellingError, SerializationError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from repro.core.snapshot import LabelSnapshot
 
 #: Version 2 added ``construction_seconds``; version 3 stores the labels as
 #: one flat entries buffer plus a CSR offsets array (``labels_flat`` /
@@ -52,25 +55,29 @@ def _decode_distance(value: float) -> float:
     return math.inf if value == _INF_SENTINEL else value
 
 
+def _hierarchy_nodes_payload(hierarchy: StableTreeHierarchy) -> list[dict]:
+    """The JSON shape of the hierarchy's node structure."""
+    return [
+        {
+            "parent": node.parent,
+            "is_right": (
+                node.parent != -1
+                and hierarchy.nodes[node.parent].right == node.index
+            ),
+            "vertices": node.vertices,
+        }
+        for node in hierarchy.nodes
+    ]
+
+
 def serialize_labelling(stl: StableTreeLabelling) -> dict:
     """Turn an index into a JSON-serialisable dict."""
-    hierarchy = stl.hierarchy
     return {
         "format_version": FORMAT_VERSION,
-        "num_vertices": hierarchy.num_vertices,
+        "num_vertices": stl.hierarchy.num_vertices,
         "maintenance": stl.maintenance_mode,
         "construction_seconds": stl.construction_seconds,
-        "nodes": [
-            {
-                "parent": node.parent,
-                "is_right": (
-                    node.parent != -1
-                    and hierarchy.nodes[node.parent].right == node.index
-                ),
-                "vertices": node.vertices,
-            }
-            for node in hierarchy.nodes
-        ],
+        "nodes": _hierarchy_nodes_payload(stl.hierarchy),
         "label_offsets": list(stl.labels.offsets),
         "labels_flat": [_encode_distance(d) for d in stl.labels.view],
     }
@@ -188,3 +195,90 @@ def load_labelling(path_or_handle: str | TextIO, graph: Graph) -> StableTreeLabe
     else:
         payload = json.load(path_or_handle)
     return deserialize_labelling(payload, graph)
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot persistence (warm service restarts)
+# --------------------------------------------------------------------------- #
+
+#: Snapshot payloads wrap a labelling payload (re-using the format above)
+#: plus the frozen graph's edge list -- unlike a bare labelling checkpoint, a
+#: snapshot must be self-contained: a restarted service has no other record
+#: of the weights its persisted labels were computed against, and the
+#: fallback tier runs bounded Dijkstra on exactly those weights.
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+def serialize_snapshot(snapshot: "LabelSnapshot") -> dict:
+    """Turn a live :class:`~repro.core.snapshot.LabelSnapshot` into a dict.
+
+    The caller should hold the snapshot acquired while serialising (the
+    serving layer does) so the generation cannot be reclaimed mid-encode; a
+    snapshot that has already been reclaimed is refused.
+    """
+    if snapshot.disposed:
+        raise SerializationError("cannot persist a reclaimed snapshot")
+    payload: dict = {
+        "snapshot_format": SNAPSHOT_FORMAT_VERSION,
+        "snapshot_version": snapshot.version,
+        "num_vertices": snapshot.graph.num_vertices,
+        "edges": [
+            [u, v, _encode_distance(w)] for u, v, w in snapshot.graph.edges()
+        ],
+    }
+    if snapshot.labels is not None:
+        payload["labelling"] = {
+            "format_version": FORMAT_VERSION,
+            "num_vertices": snapshot.graph.num_vertices,
+            "maintenance": "pareto",
+            "construction_seconds": 0.0,
+            "nodes": _hierarchy_nodes_payload(snapshot.hierarchy),
+            "label_offsets": list(snapshot.labels.offsets),
+            "labels_flat": [_encode_distance(d) for d in snapshot.labels.view],
+        }
+    return payload
+
+
+def deserialize_snapshot(payload: dict) -> "LabelSnapshot":
+    """Rebuild a snapshot from :func:`serialize_snapshot` output.
+
+    A payload without a ``labelling`` section (persisted before the first
+    labelling landed) round-trips to a fallback-only snapshot.
+    """
+    from repro.core.snapshot import LabelSnapshot
+
+    if payload.get("snapshot_format") != SNAPSHOT_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported snapshot format {payload.get('snapshot_format')!r}"
+        )
+    graph = Graph(int(payload["num_vertices"]))
+    try:
+        for u, v, w in payload["edges"]:
+            graph.add_edge(int(u), int(v), _decode_distance(float(w)))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed snapshot edge list: {exc}") from exc
+    version = int(payload.get("snapshot_version", 0))
+    if "labelling" in payload:
+        stl = deserialize_labelling(payload["labelling"], graph)
+        return LabelSnapshot(stl.hierarchy, stl.labels, graph, version)
+    return LabelSnapshot(None, None, graph, version)
+
+
+def save_snapshot(snapshot: "LabelSnapshot", path_or_handle: str | TextIO) -> None:
+    """Write a snapshot to a JSON file (or open handle)."""
+    payload = serialize_snapshot(snapshot)
+    if isinstance(path_or_handle, (str, os.PathLike)):
+        with open(path_or_handle, "w", encoding="ascii") as handle:
+            json.dump(payload, handle)
+    else:
+        json.dump(payload, path_or_handle)
+
+
+def load_snapshot(path_or_handle: str | TextIO) -> "LabelSnapshot":
+    """Read a snapshot written by :func:`save_snapshot`."""
+    if isinstance(path_or_handle, (str, os.PathLike)):
+        with open(path_or_handle, "r", encoding="ascii") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(path_or_handle)
+    return deserialize_snapshot(payload)

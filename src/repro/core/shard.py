@@ -95,6 +95,7 @@ from repro.graph.graph import Graph
 from repro.graph.updates import EdgeUpdate, UpdateBatch, UpdateKind
 from repro.hierarchy.tree import StableTreeHierarchy
 from repro.partition.bisection import Bisector, HybridBisector
+from repro.utils.errors import ConfigError
 
 
 def default_num_shards() -> int:
@@ -116,7 +117,8 @@ def normalize_parallel(parallel: bool | str | None) -> str | None:
     thread backend, and the explicit names ``"serial"`` / ``"thread"`` /
     ``"process"`` select a backend directly.  Anything else -- including the
     merely-truthy values the parameter used to swallow silently -- raises
-    :class:`ValueError` naming the allowed set.
+    :class:`repro.utils.errors.ConfigError` (a :class:`ValueError` subclass)
+    naming the allowed set.
     """
     if parallel is None:
         return None
@@ -125,7 +127,7 @@ def normalize_parallel(parallel: bool | str | None) -> str | None:
     if isinstance(parallel, str) and parallel in SHARD_BACKEND_NAMES:
         return parallel
     allowed = ", ".join(repr(name) for name in SHARD_BACKEND_NAMES)
-    raise ValueError(
+    raise ConfigError(
         f"unknown parallel backend {parallel!r}; allowed backends: {allowed} "
         "(or True/False/None)"
     )

@@ -1,0 +1,280 @@
+"""Immutable published views of an STL index (the RCU read side).
+
+The serving layer (:mod:`repro.serve`) keeps queries lock-free by never
+letting readers see a store that maintenance is mutating.  A
+:class:`LabelSnapshot` is one published generation: a hierarchy, a label
+store, and a *frozen copy* of the graph's weights, all captured at a single
+version.  Readers acquire the snapshot, query it, and release it; the
+single maintenance task builds the next generation on a shadow copy of the
+CSR store and commits it with an atomic pointer swap
+(:meth:`repro.serve.service.QueryService._publish`).
+
+Reclamation is epoch-based rather than lock-based: every ``acquire`` pins
+the snapshot's label store (:meth:`repro.core.labelling.STLLabels.pin`),
+``retire`` marks the generation as superseded, and the buffers are only
+dropped when the last in-flight reader releases -- an in-flight query can
+never observe its snapshot being reclaimed underneath it, and a reader that
+arrives *after* retirement is refused with :class:`SnapshotError` (it must
+re-read the service's active pointer, which by then names the successor).
+The store's ``buffer_epoch`` ties in from the kernel side: the vector query
+kernels cache ``frombuffer`` views keyed on it, so a snapshot store's
+cached views can never be served against a different generation's buffer.
+
+Snapshots also carry the *fallback tier*: a snapshot whose ``labels`` is
+``None`` (published before the first labelling finished building) or whose
+labels do not cover a queried vertex answers through bounded Dijkstra on
+its frozen graph -- exact, just slower -- so the service can answer from the
+moment it starts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.algorithms.dijkstra import dijkstra_with_target
+from repro.core.labelling import STLLabels
+from repro.core.query import batch_query, query_distance
+from repro.graph.graph import Graph
+from repro.hierarchy.tree import StableTreeHierarchy
+from repro.utils.errors import SnapshotError
+from repro.utils.validation import check_vertex
+
+#: Query tier names reported by :meth:`LabelSnapshot.distance`.
+FAST_PATH = "fast"
+FALLBACK_PATH = "fallback"
+
+
+class LabelSnapshot:
+    """One immutable generation of the serving state.
+
+    Construct via :meth:`capture` (from a live index) or
+    :meth:`fallback_only` (graph-only, before the first labelling lands);
+    the raw constructor is for deserialisation.  The graph handed in must
+    be private to the snapshot -- ``capture`` copies it -- because readers
+    run fallback searches against it unlocked.
+
+    Readers bracket every use with :meth:`acquire` / :meth:`release` (or
+    the context manager form).  The snapshot is hashable by identity and
+    compares by identity: two captures of identical state are distinct
+    generations.
+    """
+
+    __slots__ = (
+        "hierarchy",
+        "labels",
+        "graph",
+        "version",
+        "_readers",
+        "_retired",
+        "_disposed",
+        "_drained_callbacks",
+    )
+
+    def __init__(
+        self,
+        hierarchy: StableTreeHierarchy | None,
+        labels: STLLabels | None,
+        graph: Graph,
+        version: int = 0,
+    ):
+        if (hierarchy is None) != (labels is None):
+            raise SnapshotError("hierarchy and labels must be provided together")
+        if labels is not None and len(labels) != hierarchy.num_vertices:  # type: ignore[union-attr]
+            raise SnapshotError(
+                f"labels cover {len(labels)} vertices, "
+                f"hierarchy covers {hierarchy.num_vertices}"  # type: ignore[union-attr]
+            )
+        self.hierarchy = hierarchy
+        self.labels = labels
+        self.graph = graph
+        self.version = version
+        self._readers = 0
+        self._retired = False
+        self._disposed = False
+        self._drained_callbacks: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def capture(cls, stl: Any, version: int = 0, copy: bool = True) -> "LabelSnapshot":
+        """Snapshot a :class:`repro.core.stl.StableTreeLabelling`.
+
+        ``copy=True`` (the default) duplicates the label entries
+        (:meth:`STLLabels.snapshot_store`).  ``copy=False`` *shares* the
+        index's live store -- the zero-copy publish the service uses: sound
+        as long as the writer shadow-copies its store before the next
+        mutation (the copy-on-write discipline of
+        :meth:`repro.serve.service.QueryService`).  The graph is always
+        copied; readers run fallback searches against it while the writer's
+        graph keeps moving.
+        """
+        labels = stl.labels.snapshot_store() if copy else stl.labels
+        return cls(stl.hierarchy, labels, stl.graph.copy(), version)
+
+    @classmethod
+    def fallback_only(cls, graph: Graph, version: int = 0, copy: bool = True) -> "LabelSnapshot":
+        """A labelless snapshot: every query takes the Dijkstra fallback."""
+        return cls(None, None, graph.copy() if copy else graph, version)
+
+    # ------------------------------------------------------------------ #
+    # Reader protocol
+    # ------------------------------------------------------------------ #
+
+    @property
+    def readers(self) -> int:
+        """Number of in-flight acquired readers."""
+        return self._readers
+
+    @property
+    def retired(self) -> bool:
+        """Whether a successor generation has been published."""
+        return self._retired
+
+    @property
+    def disposed(self) -> bool:
+        """Whether the snapshot's buffers have been reclaimed."""
+        return self._disposed
+
+    def acquire(self) -> "LabelSnapshot":
+        """Pin the snapshot for one reader; refuse once retired.
+
+        Refusing retired generations is what makes the service's swap
+        *atomic* from the reader side: a reader either got the old pointer
+        before the swap (and acquired before retirement ran -- both happen
+        on the event-loop thread, so there is no window between them) or
+        reads the new pointer.  It can never start a fresh read against a
+        generation whose reclamation countdown already began.
+        """
+        if self._retired or self._disposed:
+            raise SnapshotError(
+                f"snapshot v{self.version} is retired; re-read the active snapshot"
+            )
+        self._readers += 1
+        if self.labels is not None:
+            self.labels.pin()
+        return self
+
+    def release(self) -> None:
+        """Drop one reader pin; the last reader of a retired snapshot reclaims it."""
+        if self._readers <= 0:
+            raise SnapshotError("release() without a matching acquire()")
+        self._readers -= 1
+        if self.labels is not None:
+            self.labels.unpin()
+        if self._retired and self._readers == 0:
+            self._dispose()
+
+    def __enter__(self) -> "LabelSnapshot":
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def retire(self) -> None:
+        """Mark this generation superseded; reclaim once readers drain.
+
+        Idempotent.  With no readers in flight the buffers are reclaimed
+        immediately; otherwise the last :meth:`release` reclaims them --
+        the epoch drain of the RCU scheme.
+        """
+        if self._retired:
+            return
+        self._retired = True
+        if self._readers == 0:
+            self._dispose()
+
+    def defer_until_drained(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once no readers remain (immediately if none)."""
+        if self._readers == 0:
+            callback()
+        else:
+            self._drained_callbacks.append(callback)
+
+    def _dispose(self) -> None:
+        """Drop the buffer references (reclamation).  Internal: called with
+        zero readers only, so nothing can be mid-read on these objects."""
+        if self._disposed:
+            return
+        self._disposed = True
+        self.hierarchy = None
+        self.labels = None
+        self.graph = None  # type: ignore[assignment]
+        if self._drained_callbacks:
+            callbacks, self._drained_callbacks = self._drained_callbacks, []
+            for callback in callbacks:
+                callback()
+
+    def _check_live(self) -> None:
+        if self._disposed:
+            raise SnapshotError(f"snapshot v{self.version} has been reclaimed")
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertices of the snapshot's frozen graph."""
+        self._check_live()
+        return self.graph.num_vertices
+
+    @property
+    def buffer_epoch(self) -> int:
+        """The label store's buffer generation (``-1`` when fallback-only)."""
+        return -1 if self.labels is None else self.labels.buffer_epoch
+
+    def covers(self, s: int, t: int) -> bool:
+        """Whether both vertices can take the fast label path."""
+        if self.labels is None:
+            return False
+        n = len(self.labels)
+        return 0 <= s < n and 0 <= t < n
+
+    def distance(self, s: int, t: int) -> tuple[float, str]:
+        """Distance plus the tier that answered (``"fast"``/``"fallback"``).
+
+        The fast path is the O(prefix) label lookup; the complete path is
+        bounded Dijkstra (early termination at the target) over the frozen
+        graph -- taken for labelless snapshots and for vertices the labels
+        do not cover.  Both tiers are exact for this generation's weights.
+        """
+        self._check_live()
+        check_vertex(s, self.graph.num_vertices)
+        check_vertex(t, self.graph.num_vertices)
+        if self.covers(s, t):
+            return query_distance(self.hierarchy, self.labels, s, t), FAST_PATH
+        return dijkstra_with_target(self.graph, s, t), FALLBACK_PATH
+
+    def batch_distances(
+        self, pairs: list[tuple[int, int]], kernel: str | None = None
+    ) -> list[float]:
+        """Distances for many pairs, tiering each pair independently."""
+        self._check_live()
+        fast = [p for p in pairs if self.covers(*p)]
+        answers: dict[tuple[int, int], float] = {}
+        if fast:
+            for pair, d in zip(fast, batch_query(self.hierarchy, self.labels, fast, kernel)):
+                answers[pair] = d
+        out = []
+        for s, t in pairs:
+            if (s, t) in answers:
+                out.append(answers[(s, t)])
+            else:
+                check_vertex(s, self.graph.num_vertices)
+                check_vertex(t, self.graph.num_vertices)
+                out.append(dijkstra_with_target(self.graph, s, t))
+        return out
+
+    def reachable(self, s: int, t: int) -> bool:
+        """Whether ``t`` is reachable from ``s`` in this generation."""
+        return not math.isinf(self.distance(s, t)[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "disposed" if self._disposed else ("retired" if self._retired else "active")
+        tier = "fallback-only" if self.labels is None else "labelled"
+        return (
+            f"LabelSnapshot(v{self.version}, {tier}, {state}, readers={self._readers})"
+        )

@@ -19,10 +19,12 @@ instead, which is how the STL-L rows of Table 3 are produced.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Literal
+import warnings
+from typing import TYPE_CHECKING, Iterable, Literal
 
 from repro.core.batch import BatchedParetoEngine, BatchPolicy, normalize_engine
 from repro.core.batch_label_search import BatchedLabelSearchEngine
+from repro.core.config import DEFAULT_CONFIG, STLConfig
 from repro.core.shard import (
     ShardBackend,
     ShardedBatchEngine,
@@ -42,12 +44,29 @@ from repro.graph.graph import Graph
 from repro.graph.updates import EdgeUpdate, UpdateBatch, UpdateKind
 from repro.hierarchy.builder import HierarchyOptions, build_hierarchy
 from repro.hierarchy.tree import StableTreeHierarchy
-from repro.utils.errors import UpdateError
+from repro.utils.errors import ConfigError, UpdateError
 from repro.utils.memory import MemoryEstimate
 from repro.utils.timer import Timer
 from repro.utils.validation import check_vertex
 
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from repro.core.snapshot import LabelSnapshot
+
 MaintenanceMode = Literal["pareto", "label_search"]
+
+
+def _deprecated_kwarg(old: str, replacement: str) -> None:
+    """Emit the shim warning for a legacy per-call kwarg.
+
+    ``stacklevel=3`` points the warning at the caller of the public method
+    (caller -> method -> here).
+    """
+    warnings.warn(
+        f"the {old} argument is deprecated; pass {replacement} instead "
+        "(see docs/api.md, 'Migrating to STLConfig')",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class StableTreeLabelling:
@@ -65,12 +84,15 @@ class StableTreeLabelling:
         maintenance: MaintenanceMode = "pareto",
         construction_seconds: float = 0.0,
         batch_policy: BatchPolicy | None = None,
+        config: STLConfig | None = None,
     ):
         self.graph = graph
         self.hierarchy = hierarchy
         self.labels = labels
         self.construction_seconds = construction_seconds
-        self.batch_policy = batch_policy or BatchPolicy()
+        self.config = config or DEFAULT_CONFIG
+        self.batch_policy = batch_policy or self.config.policy or BatchPolicy()
+        self._close_pending = False
         self.set_maintenance(maintenance)
 
     # ------------------------------------------------------------------ #
@@ -92,13 +114,20 @@ class StableTreeLabelling:
         return cls(graph, hierarchy, labels, maintenance, timer.elapsed)
 
     def rebuild(self, options: HierarchyOptions | None = None) -> "StableTreeLabelling":
-        """Construct a fresh index on the current graph (Figure 10 baseline)."""
-        return StableTreeLabelling.build(self.graph, options, self._maintenance_mode)
+        """Construct a fresh index on the current graph (Figure 10 baseline).
+
+        The fresh index inherits this one's :class:`STLConfig` and batch
+        policy.
+        """
+        fresh = StableTreeLabelling.build(self.graph, options, self._maintenance_mode)
+        fresh.config = self.config
+        fresh.batch_policy = self.batch_policy
+        return fresh
 
     def set_maintenance(self, maintenance: MaintenanceMode) -> None:
         """Select the maintenance algorithm family ('pareto' or 'label_search')."""
         if maintenance not in ("pareto", "label_search"):
-            raise ValueError(f"unknown maintenance mode {maintenance!r}")
+            raise ConfigError(f"unknown maintenance mode {maintenance!r}")
         self._maintenance_mode: MaintenanceMode = maintenance
         self._decrease: ParetoSearchDecrease | LabelSearchDecrease
         self._increase: ParetoSearchIncrease | LabelSearchIncrease
@@ -125,15 +154,79 @@ class StableTreeLabelling:
         )
 
     def close(self) -> None:
-        """Release pooled resources (the process backend's workers).
+        """Release pooled resources (worker pool + shared label segment).
 
-        Idempotent and safe to skip: worker processes are daemonic, so an
-        un-closed index cannot keep the interpreter alive.  Long-running
-        services that build many indexes should still close each one.
+        Idempotent and safe to call concurrently with live snapshot
+        readers: closing the process backend moves the label entries out of
+        their shared-memory segment, which must not happen while an
+        in-flight reader holds a pin on the store
+        (:meth:`repro.core.labelling.STLLabels.pin` -- the serving layer
+        pins the store of every acquired zero-copy snapshot).  With pins
+        outstanding the teardown is *deferred* until the last reader
+        releases; a second ``close`` during the deferral window (or after
+        teardown completed) is a no-op.  Safe to skip entirely: worker
+        processes are daemonic, so an un-closed index cannot keep the
+        interpreter alive.  Long-running services that build many indexes
+        should still close each one.
         """
+        if self._close_pending:
+            return
+        if self.labels.pinned:
+            self._close_pending = True
+
+            def _finish() -> None:
+                self._close_pending = False
+                self._release_backend()
+
+            self.labels.defer_until_drained(_finish)
+            return
+        self._release_backend()
+
+    def _release_backend(self) -> None:
+        """Tear down the process backend now (pool + segment)."""
         if self._process_backend is not None:
             self._process_backend.close()
             self._process_backend = None
+
+    @property
+    def close_pending(self) -> bool:
+        """Whether a close is deferred behind live snapshot readers."""
+        return self._close_pending
+
+    def snapshot(self, version: int = 0, copy: bool = True) -> "LabelSnapshot":
+        """An immutable :class:`~repro.core.snapshot.LabelSnapshot` of this index.
+
+        ``copy=False`` shares the live store zero-copy -- callers must then
+        follow the copy-on-write discipline (shadow the store with
+        :meth:`adopt_labels` before the next mutation), which is exactly
+        what the serving layer's maintenance task does.
+        """
+        from repro.core.snapshot import LabelSnapshot
+
+        return LabelSnapshot.capture(self, version, copy=copy)
+
+    def adopt_labels(self, labels: STLLabels) -> None:
+        """Swap in a different label store and rebind everything to it.
+
+        The serving layer's shadow-copy step: after publishing a zero-copy
+        snapshot, the writer adopts a private copy of its store
+        (:meth:`STLLabels.snapshot_store`) before mutating, leaving the
+        published buffer untouched for readers.  Every maintenance engine
+        holds a reference to the store it was built over, so the engines
+        are rebuilt (the shard planner and its lazily computed plan are
+        preserved -- regions are topology-only); a live process backend is
+        *rebound* (:meth:`repro.core.parallel.ProcessShardBackend.rebind`):
+        its resident workers detach from the old store's shared segment and
+        re-attach to a fresh segment over the new store on the next batch.
+        """
+        if len(labels) != len(self.labels):
+            raise UpdateError(
+                f"adopted store covers {len(labels)} vertices, index has {len(self.labels)}"
+            )
+        self.labels = labels
+        self.set_maintenance(self._maintenance_mode)
+        if self._process_backend is not None:
+            self._process_backend.rebind(labels)
 
     @property
     def maintenance_mode(self) -> MaintenanceMode:
@@ -163,17 +256,31 @@ class StableTreeLabelling:
         return query_with_hub(self.hierarchy, self.labels, s, t)
 
     def batch_query(
-        self, pairs: Iterable[tuple[int, int]], kernel: str | None = None
+        self,
+        pairs: Iterable[tuple[int, int]],
+        kernel: str | None = None,
+        *,
+        config: STLConfig | None = None,
     ) -> list[float]:
         """Answer many queries (delegates to :func:`repro.core.query.batch_query`).
 
-        ``kernel`` selects the query kernel: ``"vector"`` (the fused numpy
-        gather + segment-min of :mod:`repro.core.kernels`, requires the
+        The kernel is selected by ``config`` (defaulting to the index's own
+        :class:`STLConfig`): ``"vector"`` (the fused numpy gather +
+        segment-min of :mod:`repro.core.kernels`, requires the
         ``repro[fast]`` extra), ``"scalar"`` (the pure-Python loop), or
         ``None`` for the import-time default.  Purely a performance choice:
         both kernels return entry-wise identical answers.
+
+        The positional ``kernel=`` argument is the pre-:class:`STLConfig`
+        spelling; it still works but emits a :class:`DeprecationWarning`
+        (see docs/api.md, "Migrating to STLConfig").
         """
-        return batch_query(self.hierarchy, self.labels, list(pairs), kernel)
+        if config is not None and kernel is not None:
+            raise ConfigError("pass either config= or the legacy kernel= kwarg, not both")
+        if kernel is not None:
+            _deprecated_kwarg("kernel", "config=STLConfig(kernel=...)")
+        used = kernel if kernel is not None else (config or self.config).kernel
+        return batch_query(self.hierarchy, self.labels, list(pairs), used)
 
     # ------------------------------------------------------------------ #
     # Maintenance
@@ -193,6 +300,8 @@ class StableTreeLabelling:
         policy: BatchPolicy | None = None,
         parallel: bool | str | None = None,
         engine: str | None = None,
+        *,
+        config: STLConfig | None = None,
     ) -> MaintenanceStats:
         """Apply a batch of updates with per-edge coalescing.
 
@@ -218,41 +327,60 @@ class StableTreeLabelling:
           from scratch in place (``stats.extra["rebuild_fallback"]`` records
           the fallback).  ``policy`` defaults to :attr:`batch_policy`.
 
-        ``parallel`` selects the shard backend: ``"thread"`` or
-        ``"process"`` force that worker-pool engine (bypassing the rebuild
-        crossover -- an explicit request to exercise the parallel path, as
-        the benchmarks do), ``"serial"`` or ``False`` forbid sharding,
-        ``True`` keeps its historical meaning of ``"thread"``, and ``None``
-        (default) lets the policy's batch-size, shard-balance and
-        ``process_min_updates`` thresholds pick between the four
-        strategies.  Any other value raises :class:`ValueError` naming the
-        allowed set (merely-truthy values used to be swallowed silently).
+        Backend, engine family and policy come from ``config`` (a per-call
+        :class:`STLConfig` override, defaulting to the index's own config):
 
-        ``engine`` selects the batch engine family independently of the
-        backend: ``"pareto"`` (the update-centric shared phases) or
-        ``"label_search"`` (the ancestor-centric per-index queues of
-        :mod:`repro.core.batch_label_search`).  ``None`` defers to the
-        index's maintenance mode when it is ``label_search``, else to
-        :meth:`BatchPolicy.engine_for` -- the engine half of the joint
-        engine x backend crossover.  Every engine runs on every backend and
-        all strategies produce entry-wise identical labels, so both choices
-        are purely performance matters; ``stats.extra
-        ["label_search_engine"]`` records a Label Search batch.
+        * ``config.backend`` selects the shard backend: ``"thread"`` or
+          ``"process"`` force that worker-pool engine (bypassing the rebuild
+          crossover -- an explicit request to exercise the parallel path, as
+          the benchmarks do), ``"serial"`` forbids sharding, and ``None``
+          (default) lets the policy's batch-size, shard-balance and
+          ``process_min_updates`` thresholds pick between the four
+          strategies.  Any other value raises
+          :class:`repro.utils.errors.ConfigError` naming the allowed set.
+        * ``config.engine`` selects the batch engine family independently of
+          the backend: ``"pareto"`` (the update-centric shared phases) or
+          ``"label_search"`` (the ancestor-centric per-index queues of
+          :mod:`repro.core.batch_label_search`).  ``None`` defers to the
+          index's maintenance mode when it is ``label_search``, else to
+          :meth:`BatchPolicy.engine_for` -- the engine half of the joint
+          engine x backend crossover.  Every engine runs on every backend
+          and all strategies produce entry-wise identical labels, so both
+          choices are purely performance matters; ``stats.extra
+          ["label_search_engine"]`` records a Label Search batch.
+
+        The positional ``policy=`` / ``parallel=`` / ``engine=`` arguments
+        are the pre-:class:`STLConfig` spellings of the same three choices
+        (``parallel`` additionally accepts its historical booleans:
+        ``True`` means ``"thread"``, ``False`` means ``"serial"``).  They
+        still work but emit :class:`DeprecationWarning` (see docs/api.md,
+        "Migrating to STLConfig") and cannot be mixed with ``config=``.
 
         ``updates_processed`` counts every update consumed from the input
         batch, including NEUTRAL updates and updates folded away by
         coalescing; ``stats.extra["net_updates"]`` reports the coalesced
         batch size.
         """
-        backend = normalize_parallel(parallel)
-        chosen = normalize_engine(engine)
+        if config is not None and (
+            policy is not None or parallel is not None or engine is not None
+        ):
+            raise ConfigError("pass either config= or the legacy per-call kwargs, not both")
+        if policy is not None:
+            _deprecated_kwarg("policy", "config=STLConfig(policy=...)")
+        if parallel is not None:
+            _deprecated_kwarg("parallel", "config=STLConfig(backend=...)")
+        if engine is not None:
+            _deprecated_kwarg("engine", "config=STLConfig(engine=...)")
+        cfg = config if config is not None else self.config
+        backend = normalize_parallel(parallel) if parallel is not None else cfg.backend
+        chosen = normalize_engine(engine) if engine is not None else cfg.engine
         if chosen is None and self._maintenance_mode == "label_search":
             chosen = "label_search"
         batch = updates if isinstance(updates, UpdateBatch) else UpdateBatch(updates)
         total = len(batch)
         if total == 0:
             return MaintenanceStats()
-        policy = policy or self.batch_policy
+        policy = policy or cfg.policy or self.batch_policy
         net = batch.coalesce(self.graph)
         # NEUTRAL nets (cancelled chains) do no maintenance work, so they must
         # not push an otherwise-small batch over the rebuild crossover.
@@ -413,3 +541,42 @@ class StableTreeLabelling:
             f"entries={self.labels.num_entries()}, "
             f"maintenance={self._maintenance_mode!r})"
         )
+
+
+def open_network(
+    graph: Graph,
+    *,
+    config: STLConfig | None = None,
+    options: HierarchyOptions | None = None,
+) -> StableTreeLabelling:
+    """Open ``graph`` for querying and maintenance under one :class:`STLConfig`.
+
+    The post-redesign entry point: build the stable tree hierarchy and the
+    subgraph-distance labels, and return an index whose every later call --
+    ``apply_batch``, ``batch_query``, the serving layer -- defaults to
+    ``config``'s backend / engine / kernel / policy choices instead of
+    per-call kwargs::
+
+        stl = repro.open_network(graph, config=STLConfig(engine="label_search"))
+        stl.apply_batch(batch)              # Label Search, no kwargs
+        stl.batch_query(pairs)              # config's kernel
+
+    ``config=None`` means :data:`repro.core.config.DEFAULT_CONFIG`: every
+    choice deferred to the measured crossovers.  ``options`` tunes the
+    hierarchy construction exactly as :meth:`StableTreeLabelling.build`
+    does.  The maintenance algorithm family follows the config's engine
+    selection (:attr:`STLConfig.maintenance`).
+    """
+    cfg = config or DEFAULT_CONFIG
+    timer = Timer()
+    with timer.measure():
+        hierarchy = build_hierarchy(graph, options)
+        labels = build_labels(graph, hierarchy)
+    return StableTreeLabelling(
+        graph,
+        hierarchy,
+        labels,
+        cfg.maintenance,  # type: ignore[arg-type]
+        timer.elapsed,
+        config=cfg,
+    )

@@ -174,12 +174,13 @@ def measure_batch_query_qps(
     """
     if not pairs:
         return 0.0
-    index.batch_query(pairs, kernel=kernel)
+    config = index.config.replace(kernel=kernel)
+    index.batch_query(pairs, config=config)
     best = math.inf
     for _ in range(max(repeats, 1)):
         timer = Timer()
         with timer.measure():
-            index.batch_query(pairs, kernel=kernel)
+            index.batch_query(pairs, config=config)
         best = min(best, timer.elapsed)
     return len(pairs) / best
 
@@ -211,10 +212,11 @@ def measure_batched_seconds(
     experiment series always pin ``engine`` so each measured series is the
     strategy its label names.
     """
+    config = index.config.replace(backend=parallel, engine=engine)
     timer = Timer()
     fallbacks = 0
     for batch in batches:
         with timer.measure():
-            stats = index.apply_batch(batch, parallel=parallel, engine=engine)
+            stats = index.apply_batch(batch, config=config)
         fallbacks += stats.extra.get("rebuild_fallback", 0)
     return timer.elapsed, fallbacks

@@ -1,0 +1,16 @@
+"""The serving layer: an always-on query service over RCU label snapshots.
+
+``repro.serve`` keeps a Stable Tree Labelling index *live*: queries are
+answered lock-free against an immutable published
+:class:`~repro.core.snapshot.LabelSnapshot` while a single maintenance task
+coalesces incoming update batches, maintains a shadow copy of the label
+store, and commits each generation with an atomic pointer swap.  See
+docs/architecture.md section 7 for the full design (RCU swap, epoch-based
+reclamation, fallback tiering) and ``python -m repro.serve --help`` for the
+stand-alone TCP server.
+"""
+
+from repro.serve.server import QueryServer
+from repro.serve.service import QueryService
+
+__all__ = ["QueryServer", "QueryService"]

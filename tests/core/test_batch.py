@@ -8,6 +8,7 @@ import pytest
 from repro.core.batch import BatchedParetoEngine, BatchPolicy
 from repro.core.labelling import build_labels, verify_labels
 from repro.core.stl import StableTreeLabelling
+from repro.core.config import STLConfig
 from repro.graph.updates import EdgeUpdate, UpdateBatch
 from repro.hierarchy.builder import HierarchyOptions
 from tests.conftest import nx_all_pairs
@@ -163,7 +164,8 @@ class TestRebuildFallback:
     def test_policy_argument_overrides_default(self, stl):
         updates = [EdgeUpdate(u, v, w, w * 2) for u, v, w in list(stl.graph.edges())[:5]]
         stats = stl.apply_batch(
-            updates, policy=BatchPolicy(rebuild_min_updates=1, rebuild_fraction=0.0)
+            updates,
+            config=STLConfig(policy=BatchPolicy(rebuild_min_updates=1, rebuild_fraction=0.0)),
         )
         assert stats.extra.get("rebuild_fallback") == 1
 

@@ -31,6 +31,7 @@ from repro.core.stl import StableTreeLabelling
 from repro.graph.updates import EdgeUpdate, UpdateBatch
 from repro.hierarchy.builder import HierarchyOptions
 from repro.workloads.updates import mixed_update_stream
+from repro.core.config import STLConfig
 from tests.conftest import random_mixed_batch
 
 ENGINES = ("pareto", "label_search")
@@ -75,9 +76,9 @@ class TestEngineBackendMatrix:
         decrease half, through one matrix cell."""
         engine, backend = engine_backend
         stream = mixed_update_stream(stl.graph, 80, factor=2.0, seed=21)
-        stl.apply_batch(stream.increases(), parallel=backend, engine=engine)
+        stl.apply_batch(stream.increases(), config=STLConfig(backend=backend, engine=engine))
         assert_matches_rebuild(stl)
-        stl.apply_batch(stream.decreases(), parallel=backend, engine=engine)
+        stl.apply_batch(stream.decreases(), config=STLConfig(backend=backend, engine=engine))
         assert_matches_rebuild(stl)
 
     @pytest.mark.parametrize("seed", [0, 1])
@@ -87,7 +88,7 @@ class TestEngineBackendMatrix:
         engine, backend = engine_backend
         for round_ in range(3):
             batch = random_mixed_batch(stl.graph, 60, seed=seed * 10 + round_)
-            stl.apply_batch(batch, parallel=backend, engine=engine)
+            stl.apply_batch(batch, config=STLConfig(backend=backend, engine=engine))
         assert_matches_rebuild(stl)
 
     def test_fully_separator_crossing_batch_matches_rebuild(self, stl, engine_backend):
@@ -102,7 +103,7 @@ class TestEngineBackendMatrix:
             if u in sep or v in sep:
                 batch.append(EdgeUpdate(u, v, w, round(w * 1.7, 3)))
         assert len(batch) > 0, "separator touches no edges; scenario is vacuous"
-        stats = stl.apply_batch(batch, parallel=backend, engine=engine)
+        stats = stl.apply_batch(batch, config=STLConfig(backend=backend, engine=engine))
         assert stats.updates_processed >= len(batch)
         assert_matches_rebuild(stl)
 
@@ -122,8 +123,8 @@ class TestEngineBackendMatrix:
         try:
             for round_ in range(2):
                 batch = random_mixed_batch(reference.graph, 50, seed=100 + round_)
-                reference.apply_batch(batch, parallel=False, engine="pareto")
-                candidate.apply_batch(batch, parallel=backend, engine=engine)
+                reference.apply_batch(batch, config=STLConfig(backend=False, engine="pareto"))
+                candidate.apply_batch(batch, config=STLConfig(backend=backend, engine=engine))
             assert candidate.labels.differences(reference.labels) == []
         finally:
             candidate.close()

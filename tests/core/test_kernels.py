@@ -27,6 +27,7 @@ from repro.core.stl import StableTreeLabelling
 from repro.graph.generators import city_road_network, random_connected_graph
 from repro.graph.graph import Graph
 from repro.hierarchy.builder import HierarchyOptions
+from repro.core.config import STLConfig
 from tests.conftest import random_mixed_batch
 
 needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="requires numpy (repro[fast])")
@@ -82,28 +83,28 @@ class TestScalarKernel:
         assert batch_query_scalar(city_stl.hierarchy, city_stl.labels, pairs) == expected
 
     def test_empty_batch(self, city_stl):
-        assert city_stl.batch_query([], kernel="scalar") == []
+        assert city_stl.batch_query([], config=STLConfig(kernel="scalar")) == []
 
     def test_negative_id_raises(self, city_stl):
         with pytest.raises(IndexError, match="non-negative"):
-            city_stl.batch_query([(0, 1), (-1, 2)], kernel="scalar")
+            city_stl.batch_query([(0, 1), (-1, 2)], config=STLConfig(kernel="scalar"))
 
 
 @needs_numpy
 class TestVectorKernel:
     def test_agrees_with_scalar_entrywise(self, city_stl):
         pairs = _random_pairs(city_stl, 500, seed=1)
-        scalar = city_stl.batch_query(pairs, kernel="scalar")
-        vector = city_stl.batch_query(pairs, kernel="vector")
+        scalar = city_stl.batch_query(pairs, config=STLConfig(kernel="scalar"))
+        vector = city_stl.batch_query(pairs, config=STLConfig(kernel="vector"))
         assert scalar == vector  # exact, not approx
 
     def test_default_kernel_is_vector(self, city_stl):
         pairs = _random_pairs(city_stl, 40, seed=2)
-        assert city_stl.batch_query(pairs) == city_stl.batch_query(pairs, kernel="vector")
+        assert city_stl.batch_query(pairs) == city_stl.batch_query(pairs, config=STLConfig(kernel="vector"))
 
     def test_repeated_pairs(self, city_stl):
         pairs = [(3, 97)] * 64 + [(97, 3)] * 64
-        values = set(city_stl.batch_query(pairs, kernel="vector"))
+        values = set(city_stl.batch_query(pairs, config=STLConfig(kernel="vector")))
         assert len(values) == 1  # symmetric and stable under repetition
         assert values == {city_stl.query(3, 97)}
 
@@ -116,17 +117,17 @@ class TestVectorKernel:
         graph.add_edge(3, 4, 1.0)
         stl = StableTreeLabelling.build(graph)
         pairs = [(0, 3), (2, 4), (3, 0), (0, 2), (3, 4), (3, 3)]
-        scalar = stl.batch_query(pairs, kernel="scalar")
-        vector = stl.batch_query(pairs, kernel="vector")
+        scalar = stl.batch_query(pairs, config=STLConfig(kernel="scalar"))
+        vector = stl.batch_query(pairs, config=STLConfig(kernel="vector"))
         assert scalar == vector
         assert vector[0] == math.inf and vector[1] == math.inf
 
     def test_bounds_errors_match_scalar_contract(self, city_stl):
         with pytest.raises(IndexError, match=r"non-negative, got \(-3, 5\)"):
-            city_stl.batch_query([(0, 1), (-3, 5)], kernel="vector")
+            city_stl.batch_query([(0, 1), (-3, 5)], config=STLConfig(kernel="vector"))
         n = city_stl.graph.num_vertices
         with pytest.raises(IndexError, match="out of range"):
-            city_stl.batch_query([(0, n)], kernel="vector")
+            city_stl.batch_query([(0, n)], config=STLConfig(kernel="vector"))
 
     def test_common_prefix_lengths_match_hierarchy(self, city_stl):
         import numpy as np
@@ -147,9 +148,9 @@ class TestVectorKernel:
         )
         assert hierarchy_arrays(city_stl.hierarchy) is None
         pairs = _random_pairs(city_stl, 30, seed=4)
-        assert city_stl.batch_query(pairs, kernel="vector") == city_stl.batch_query(
-            pairs, kernel="scalar"
-        )
+        assert city_stl.batch_query(pairs, config=STLConfig(kernel="vector")) == city_stl.batch_query(
+            pairs, config=STLConfig(kernel="scalar"
+        ))
         # Restore the per-module cache for the other tests.
         monkeypatch.undo()
         city_stl.hierarchy._kernel_arrays = "missing"
@@ -194,18 +195,18 @@ class TestCachedViews:
         pairs = _random_pairs(stl, 60, seed=5)
         stl.batch_query(pairs)  # populate the cache
         stl.apply_batch(random_mixed_batch(stl.graph, 30, seed=6))
-        assert stl.batch_query(pairs, kernel="vector") == stl.batch_query(
-            pairs, kernel="scalar"
-        )
+        assert stl.batch_query(pairs, config=STLConfig(kernel="vector")) == stl.batch_query(
+            pairs, config=STLConfig(kernel="scalar"
+        ))
         segment = memoryview(bytearray(stl.labels.num_entries() * 8)).cast("d")
         stl.labels.share_into(segment)
-        assert stl.batch_query(pairs, kernel="vector") == stl.batch_query(
-            pairs, kernel="scalar"
-        )
+        assert stl.batch_query(pairs, config=STLConfig(kernel="vector")) == stl.batch_query(
+            pairs, config=STLConfig(kernel="scalar"
+        ))
         stl.labels.unshare()
-        assert stl.batch_query(pairs, kernel="vector") == stl.batch_query(
-            pairs, kernel="scalar"
-        )
+        assert stl.batch_query(pairs, config=STLConfig(kernel="vector")) == stl.batch_query(
+            pairs, config=STLConfig(kernel="scalar"
+        ))
 
 
 def _run_batches(engine_cls, graph, monkeypatch, force_vector):

@@ -26,6 +26,7 @@ from repro.graph.updates import EdgeUpdate, UpdateBatch
 from repro.hierarchy.builder import HierarchyOptions
 from repro.utils.errors import UpdateError
 from repro.workloads.updates import mixed_update_stream
+from repro.core.config import STLConfig
 from tests.conftest import paired_indexes, random_mixed_batch
 
 #: Worker count used throughout: more workers than this box has cores, so
@@ -228,7 +229,7 @@ class TestBackendSelection:
         stl = StableTreeLabelling.build(small_grid.copy(), HierarchyOptions(leaf_size=8))
         u, v, w = next(iter(stl.graph.edges()))
         with pytest.raises(ValueError, match="allowed backends"):
-            stl.apply_batch([EdgeUpdate(u, v, w, w * 2)], parallel="proces")
+            stl.apply_batch([EdgeUpdate(u, v, w, w * 2)], config=STLConfig(backend="proces"))
 
     def test_create_backend_registry(self, small_grid):
         stl = StableTreeLabelling.build(small_grid.copy(), HierarchyOptions(leaf_size=8))
@@ -267,8 +268,8 @@ class TestBackendSelection:
         try:
             for round_ in range(2):
                 batch = random_mixed_batch(serial.graph, 60, seed=round_ + 20)
-                serial.apply_batch(UpdateBatch(batch.updates), parallel="serial")
-                stats = par.apply_batch(UpdateBatch(batch.updates), parallel="process")
+                serial.apply_batch(UpdateBatch(batch.updates), config=STLConfig(backend="serial"))
+                stats = par.apply_batch(UpdateBatch(batch.updates), config=STLConfig(backend="process"))
                 assert stats.extra["sharded"] == 1
                 assert serial.labels.equals(par.labels)
             assert par._process_backend is not None
@@ -307,8 +308,8 @@ class TestBackendSelection:
         )
         try:
             batch = random_mixed_batch(serial.graph, 50, seed=3)
-            serial.apply_batch(batch, parallel=False)
-            stats = par.apply_batch(batch, parallel="process")
+            serial.apply_batch(batch, config=STLConfig(backend=False))
+            stats = par.apply_batch(batch, config=STLConfig(backend="process"))
             assert stats.extra["sharded"] == 1
             assert stats.extra["label_search_engine"] == 1
             assert par.labels.differences(serial.labels) == []
@@ -355,7 +356,7 @@ class TestSharedMemoryResidency:
         before = label_arrays(par.labels)
         epoch = par.labels.buffer_epoch
         pairs = [(0, v) for v in range(min(60, par.graph.num_vertices))]
-        par.batch_query(pairs, kernel="vector")  # cache is hot pre-share
+        par.batch_query(pairs, config=STLConfig(kernel="vector"))  # cache is hot pre-share
 
         batch = random_mixed_batch(serial.graph, 50, seed=39)
         engine.apply(batch.coalesce(serial.graph).updates)
@@ -364,18 +365,18 @@ class TestSharedMemoryResidency:
         assert par.labels.buffer_epoch > epoch, "share_into must bump the epoch"
         shared = label_arrays(par.labels)
         assert shared is not before, "cache must be rebuilt over the segment"
-        assert par.batch_query(pairs, kernel="vector") == par.batch_query(
-            pairs, kernel="scalar"
-        )
+        assert par.batch_query(pairs, config=STLConfig(kernel="vector")) == par.batch_query(
+            pairs, config=STLConfig(kernel="scalar"
+        ))
 
         shared_epoch = par.labels.buffer_epoch
         backend.close()  # would raise BufferError if the cache survived
         assert not par.labels.is_shared
         assert par.labels.buffer_epoch > shared_epoch
         assert label_arrays(par.labels) is not shared
-        assert par.batch_query(pairs, kernel="vector") == par.batch_query(
-            pairs, kernel="scalar"
-        )
+        assert par.batch_query(pairs, config=STLConfig(kernel="vector")) == par.batch_query(
+            pairs, config=STLConfig(kernel="scalar"
+        ))
         assert serial.labels.equals(par.labels)
 
     def test_pool_resize_unlinks_the_old_segment(self, process_pair):
@@ -402,8 +403,8 @@ class TestSharedMemoryResidency:
         serial, par = paired_indexes(small_grid)
         par.batch_policy = BatchPolicy(rebuild_fraction=None, max_workers=WORKERS)
         batch = random_mixed_batch(serial.graph, 60, seed=34)
-        serial.apply_batch(UpdateBatch(batch.updates), parallel="serial")
-        par.apply_batch(UpdateBatch(batch.updates), parallel="process")
+        serial.apply_batch(UpdateBatch(batch.updates), config=STLConfig(backend="serial"))
+        par.apply_batch(UpdateBatch(batch.updates), config=STLConfig(backend="process"))
         name = par._process_backend.segment_name
         assert name is not None and os.path.exists(f"/dev/shm/{name}")
         par.close()

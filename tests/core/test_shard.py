@@ -9,6 +9,7 @@ from repro.core.stl import StableTreeLabelling
 from repro.graph.updates import EdgeUpdate
 from repro.hierarchy.builder import HierarchyOptions
 from repro.utils.errors import UpdateError
+from repro.core.config import STLConfig
 from tests.conftest import paired_indexes, random_mixed_batch
 
 
@@ -185,7 +186,7 @@ class TestPolicyCrossover:
             rebuild_fraction=None, parallel_min_updates=1, parallel_min_balance=0.0
         )
         batch = random_mixed_batch(stl.graph, 30, seed=1)
-        stats = stl.apply_batch(batch, parallel=False)
+        stats = stl.apply_batch(batch, config=STLConfig(backend=False))
         assert "sharded" not in stats.extra or stats.extra["sharded"] == 0
         assert verify_labels(stl.graph, stl.hierarchy, stl.labels) == []
 
@@ -194,7 +195,7 @@ class TestPolicyCrossover:
         # Even a policy that would rebuild is bypassed by parallel=True.
         stl.batch_policy = BatchPolicy(rebuild_min_updates=1, rebuild_fraction=0.0)
         batch = random_mixed_batch(stl.graph, 30, seed=2)
-        stats = stl.apply_batch(batch, parallel=True)
+        stats = stl.apply_batch(batch, config=STLConfig(backend=True))
         assert stats.extra["sharded"] == 1
         assert "rebuild_fallback" not in stats.extra
         assert verify_labels(stl.graph, stl.hierarchy, stl.labels) == []
@@ -210,8 +211,8 @@ class TestPolicyCrossover:
             maintenance="label_search",
         )
         batch = random_mixed_batch(serial.graph, 50, seed=3)
-        serial.apply_batch(batch, parallel=False)
-        stats = sharded.apply_batch(batch, parallel=True)
+        serial.apply_batch(batch, config=STLConfig(backend=False))
+        stats = sharded.apply_batch(batch, config=STLConfig(backend=True))
         assert stats.extra["sharded"] == 1
         assert stats.extra["label_search_engine"] == 1
         assert sharded.labels.differences(serial.labels) == []

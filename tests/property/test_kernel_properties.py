@@ -16,6 +16,7 @@ from repro.core.stl import StableTreeLabelling
 from repro.graph.generators import random_connected_graph
 from repro.graph.graph import Graph
 from repro.hierarchy.builder import HierarchyOptions
+from repro.core.config import STLConfig
 
 pytestmark = pytest.mark.skipif(
     not kernels.HAS_NUMPY, reason="requires numpy (repro[fast])"
@@ -71,8 +72,8 @@ class TestKernelAgreement:
     def test_scalar_and_vector_agree_entrywise(self, case):
         graph, pairs = case
         stl = StableTreeLabelling.build(graph, HierarchyOptions(leaf_size=4))
-        scalar = stl.batch_query(pairs, kernel="scalar")
-        vector = stl.batch_query(pairs, kernel="vector")
+        scalar = stl.batch_query(pairs, config=STLConfig(kernel="scalar"))
+        vector = stl.batch_query(pairs, config=STLConfig(kernel="vector"))
         assert scalar == vector
 
     @SETTINGS
@@ -86,6 +87,6 @@ class TestKernelAgreement:
         from repro.graph.updates import EdgeUpdate
 
         stl.apply_update(EdgeUpdate(u, v, w, w * 2.0))
-        assert stl.batch_query(pairs, kernel="scalar") == stl.batch_query(
-            pairs, kernel="vector"
-        )
+        assert stl.batch_query(pairs, config=STLConfig(kernel="scalar")) == stl.batch_query(
+            pairs, config=STLConfig(kernel="vector"
+        ))

@@ -20,6 +20,7 @@ from repro.graph.generators import random_connected_graph
 from repro.graph.updates import EdgeUpdate, UpdateBatch
 from repro.hierarchy.builder import HierarchyOptions
 from repro.utils.rng import make_rng
+from repro.core.config import STLConfig
 
 SETTINGS = settings(
     max_examples=15,
@@ -165,7 +166,7 @@ def _replay_batches(graph, rounds, engine):
     stl.batch_policy = BatchPolicy(rebuild_fraction=None)
     for batch in rounds:
         updates = UpdateBatch(EdgeUpdate(u, v, old, new) for u, v, old, new in batch)
-        stl.apply_batch(updates, parallel=False, engine=engine)
+        stl.apply_batch(updates, config=STLConfig(backend=False, engine=engine))
     return stl
 
 

@@ -1,0 +1,365 @@
+"""QueryService: the RCU serving loop under real concurrency.
+
+The load-bearing suite of the serving layer.  The central invariant --
+checked by :class:`TestConcurrentClients` -- is the oracle property: every
+answer a client receives is tagged with the generation version that
+produced it, and must equal the Dijkstra ground truth of *exactly that
+committed graph state*.  A torn read (labels from one generation, graph
+from another, or a store observed mid-mutation) would produce a distance
+matching no committed state and fail the check.
+
+The other suites pin the life-cycle edges: immediate fallback answers
+before the first labelling lands (with catch-up replay of batches that
+committed during the build), snapshot swaps under a deliberately slow
+reader, warm restart from a persisted snapshot, and clean stop semantics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+
+import pytest
+
+from repro.algorithms.dijkstra import dijkstra_with_target
+from repro.core.config import STLConfig
+from repro.core.snapshot import FALLBACK_PATH, FAST_PATH
+from repro.graph.generators import grid_road_network
+from repro.graph.graph import Graph
+from repro.serve.service import QueryService
+from repro.utils.errors import ServiceError
+
+from tests.conftest import assert_distances_match
+
+
+def run(coro):
+    """Each test drives its own event loop (no plugin dependency)."""
+    return asyncio.run(coro)
+
+
+class _Oracle:
+    """Client-side record of every committed graph state, by version.
+
+    The updater task routes all writes through :meth:`submit`, mirroring
+    them onto private graph copies.  ``state_for(version)`` returns the
+    graph a given published generation froze: the newest recorded state at
+    or below that version (generations between two commits -- the initial
+    publish, the build adoption -- carry the same weights as their
+    predecessor).
+
+    There is one benign window the oracle must allow for: between the
+    pointer swap (the new generation answers) and the submit future
+    resolving (the updater records the new state), a client may receive an
+    answer tagged with a version the oracle has not filed yet.  Such an
+    answer must match the *pending* batch's target state -- the post-batch
+    oracle; anything matching neither the committed pre-state nor the
+    pending post-state is a torn read and fails.
+    """
+
+    def __init__(self, graph: Graph):
+        self.states: dict[int, Graph] = {0: graph.copy()}
+        self.pending: Graph | None = None
+
+    async def submit(self, service: QueryService, triples) -> int:
+        expected = self.states[max(self.states)].copy()
+        for u, v, w in triples:
+            expected.set_weight(u, v, w)
+        self.pending = expected
+        version = await service.submit(triples)
+        self.states[version] = expected
+        if self.pending is expected:
+            self.pending = None
+        return version
+
+    def state_for(self, version: int) -> Graph:
+        return self.states[max(v for v in self.states if v <= version)]
+
+    def check(self, s: int, t: int, distance: float, version: int) -> None:
+        candidates = [self.state_for(version)]
+        if self.pending is not None and version > max(self.states):
+            candidates.append(self.pending)
+        answers = [dijkstra_with_target(state, s, t) for state in candidates]
+        assert any(
+            a == distance if (math.isinf(a) or math.isinf(distance))
+            else abs(a - distance) < 1e-9
+            for a in answers
+        ), (
+            f"torn read: query ({s},{t}) tagged v{version} answered {distance}, "
+            f"matching no committed oracle ({answers})"
+        )
+
+
+class TestImmediateAnswers:
+    def test_fallback_tier_before_build_lands(self):
+        async def scenario():
+            graph = grid_road_network(8, 8, seed=3)
+            ground = {(0, 63): dijkstra_with_target(graph, 0, 63)}
+            async with QueryService(graph) as service:
+                d, tier, version = await service.distance(0, 63)
+                first = (d, tier, version)
+                await service.wait_ready()
+                assert service.ready
+                d2, tier2, _ = await service.distance(0, 63)
+                assert tier2 == FAST_PATH
+                assert_distances_match(ground[(0, 63)], d2)
+                return first, ground
+
+            # (context manager exit stops the service)
+
+        (d, tier, version), ground = run(scenario())
+        # The pre-build answer must already be correct, just slower-tier.
+        assert_distances_match(ground[(0, 63)], d)
+        assert tier in (FAST_PATH, FALLBACK_PATH)  # build may win the race
+
+    def test_updates_during_build_are_caught_up(self):
+        async def scenario():
+            graph = grid_road_network(8, 8, seed=4)
+            service = QueryService(graph)
+            oracle = _Oracle(graph)
+            await service.start()
+            try:
+                # Land updates while (likely) still building; the adopted
+                # labelling must replay them before publishing.
+                u, v, w = next(iter(graph.edges()))
+                await oracle.submit(service, [(u, v, w * 3)])
+                await oracle.submit(service, [(u, v, w * 0.5)])
+                await service.wait_ready()
+                d, tier, version = await service.distance(u, v)
+                assert tier == FAST_PATH
+                oracle.check(u, v, d, version)
+                # The post-build generation serves the *latest* weights.
+                assert_distances_match(
+                    dijkstra_with_target(oracle.state_for(version), u, v), d
+                )
+            finally:
+                await service.stop()
+
+        run(scenario())
+
+
+class TestConcurrentClients:
+    @pytest.mark.parametrize("engine", ["pareto", "label_search"])
+    def test_no_torn_reads_under_update_storm(self, engine):
+        """N clients stream queries while batches commit; every answer must
+        match the oracle of the exact generation that produced it."""
+
+        async def scenario():
+            graph = grid_road_network(10, 10, seed=9)
+            n = graph.num_vertices
+            oracle = _Oracle(graph)
+            checked = 0
+            async with QueryService(graph, config=STLConfig(engine=engine)) as service:
+                await service.wait_ready()
+                stop = asyncio.Event()
+
+                async def client(k: int) -> int:
+                    rng = random.Random(100 + k)
+                    answered = 0
+                    while not stop.is_set():
+                        s, t = rng.randrange(n), rng.randrange(n)
+                        d, _, version = await service.distance(s, t)
+                        oracle.check(s, t, d, version)
+                        answered += 1
+                        await asyncio.sleep(0)
+                    return answered
+
+                async def updater() -> None:
+                    rng = random.Random(7)
+                    edges = list(graph.edges())
+                    current = {(u, v): w for u, v, w in edges}
+                    for _ in range(12):
+                        batch = []
+                        for _ in range(rng.randrange(1, 6)):
+                            u, v, _ = edges[rng.randrange(len(edges))]
+                            w = round(rng.uniform(0.5, 40.0), 1)
+                            current[(u, v)] = w
+                            batch.append((u, v, w))
+                        await oracle.submit(service, batch)
+                        await asyncio.sleep(0.005)
+                    stop.set()
+
+                results = await asyncio.gather(*(client(k) for k in range(6)), updater())
+                checked = sum(r for r in results if isinstance(r, int))
+                assert service.version >= 12  # the storm really swapped
+            return checked
+
+        total = run(scenario())
+        assert total > 50  # clients actually overlapped the storm
+
+    def test_batch_distance_single_generation(self):
+        async def scenario():
+            graph = grid_road_network(8, 8, seed=12)
+            oracle = _Oracle(graph)
+            async with QueryService(graph) as service:
+                await service.wait_ready()
+
+                async def hammer():
+                    for i in range(8):
+                        u, v, w = list(graph.edges())[i]
+                        await oracle.submit(service, [(u, v, w * 2)])
+
+                async def batch_reader():
+                    pairs = [(0, 63), (5, 40), (63, 1)]
+                    for _ in range(10):
+                        distances, version = await service.batch_distance(pairs)
+                        for (s, t), d in zip(pairs, distances):
+                            oracle.check(s, t, d, version)
+                        await asyncio.sleep(0)
+
+                await asyncio.gather(hammer(), batch_reader())
+
+        run(scenario())
+
+
+class TestSnapshotSwap:
+    def test_slow_reader_survives_swaps(self):
+        """A reader holding the old generation across many commits keeps
+        reading the frozen state; the generation is reclaimed only when the
+        reader finally releases."""
+
+        async def scenario():
+            graph = grid_road_network(8, 8, seed=21)
+            oracle = _Oracle(graph)
+            async with QueryService(graph) as service:
+                await service.wait_ready()
+                held = service.active_snapshot.acquire()
+                held_version = held.version
+                frozen = held.distance(0, 63)[0]
+                for i in range(5):
+                    u, v, w = list(graph.edges())[i]
+                    await oracle.submit(service, [(u, v, w * 5)])
+                assert service.version > held_version
+                assert held.retired and not held.disposed  # epoch not drained
+                # The held generation still answers its own frozen state.
+                oracle.check(0, 63, held.distance(0, 63)[0], held_version)
+                assert held.distance(0, 63)[0] == frozen
+                held.release()
+                assert held.disposed  # last reader drained the epoch
+                # And the live pointer answers the newest committed state.
+                d, _, version = await service.distance(0, 63)
+                oracle.check(0, 63, d, version)
+
+        run(scenario())
+
+    def test_coalesced_submissions_commit_together(self):
+        async def scenario():
+            graph = grid_road_network(8, 8, seed=30)
+            async with QueryService(graph) as service:
+                await service.wait_ready()
+                edges = list(graph.edges())[:6]
+                versions = await asyncio.gather(
+                    *(service.submit([(u, v, w * 2)]) for u, v, w in edges)
+                )
+                # All landed, in at most as many generations as submissions.
+                assert max(versions) <= service.version
+                for (u, v, w) in edges:
+                    assert service.graph.weight(u, v) == w * 2
+
+        run(scenario())
+
+
+class TestWarmRestart:
+    def test_restart_from_persisted_snapshot(self, tmp_path):
+        path = tmp_path / "service-snapshot.json"
+        graph = grid_road_network(8, 8, seed=17)
+        u, v, w = next(iter(graph.edges()))
+
+        async def first_life():
+            async with QueryService(graph.copy(), snapshot_path=path) as service:
+                await service.wait_ready()
+                version = await service.submit([(u, v, w * 7)])
+                d, tier, _ = await service.distance(u, v)
+                return version, d, tier
+            # stop() persisted to `path`
+
+        async def second_life():
+            # A fresh process would re-load the graph topology; weights come
+            # from the snapshot.
+            async with QueryService(graph.copy(), snapshot_path=path) as service:
+                assert service.ready  # fast path live with NO background build
+                assert service._build_task is None
+                d, tier, version = await service.distance(u, v)
+                return d, tier, version
+
+        version1, d1, tier1 = run(first_life())
+        assert path.exists()
+        d2, tier2, version2 = run(second_life())
+        assert tier1 == FAST_PATH and tier2 == FAST_PATH
+        assert_distances_match(d1, d2, "warm restart")
+        assert version2 == version1  # generation numbering continues
+
+    def test_restarted_service_keeps_maintaining(self, tmp_path):
+        path = tmp_path / "snap.json"
+        graph = grid_road_network(8, 8, seed=18)
+
+        async def first_life():
+            async with QueryService(graph.copy(), snapshot_path=path) as service:
+                await service.wait_ready()
+
+        async def second_life():
+            oracle_graph = graph.copy()
+            async with QueryService(graph.copy(), snapshot_path=path) as service:
+                u, v, w = next(iter(graph.edges()))
+                oracle_graph.set_weight(u, v, w * 9)
+                await service.submit([(u, v, w * 9)])
+                d, tier, _ = await service.distance(u, v)
+                assert tier == FAST_PATH
+                assert_distances_match(dijkstra_with_target(oracle_graph, u, v), d)
+
+        run(first_life())
+        run(second_life())
+
+
+class TestLifecycle:
+    def test_queries_refused_before_start_and_after_stop(self):
+        async def scenario():
+            graph = grid_road_network(8, 8, seed=2)
+            service = QueryService(graph)
+            with pytest.raises(ServiceError):
+                await service.distance(0, 1)
+            await service.start()
+            await service.stop()
+            with pytest.raises(ServiceError):
+                await service.distance(0, 1)
+            with pytest.raises(ServiceError):
+                await service.submit([(0, 1, 1.0)])
+            await service.stop()  # idempotent
+
+        run(scenario())
+
+    def test_double_start_rejected(self):
+        async def scenario():
+            service = QueryService(grid_road_network(8, 8, seed=2))
+            await service.start()
+            try:
+                with pytest.raises(ServiceError):
+                    await service.start()
+            finally:
+                await service.stop()
+
+        run(scenario())
+
+    def test_stats_shape(self):
+        async def scenario():
+            async with QueryService(grid_road_network(8, 8, seed=2)) as service:
+                await service.wait_ready()
+                await service.distance(0, 10)
+                stats = service.stats()
+                assert stats["ready"] and stats["running"]
+                assert stats["fast_queries"] + stats["fallback_queries"] >= 1
+                assert stats["num_vertices"] == 64
+
+        run(scenario())
+
+    def test_unreachable_distance_is_inf(self):
+        async def scenario():
+            graph = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 2.0)])
+            async with QueryService(graph) as service:
+                d, _, _ = await service.distance(0, 3)
+                assert math.isinf(d)
+                await service.wait_ready()
+                d, tier, _ = await service.distance(0, 3)
+                assert math.isinf(d) and tier == FAST_PATH
+
+        run(scenario())
