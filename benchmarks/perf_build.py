@@ -1,0 +1,178 @@
+"""Construction benchmark: serial vs process-parallel index builds.
+
+Builds the same :func:`repro.graph.generators.highway_grid_network` twice
+through :func:`repro.core.construction.build_index` -- once with
+``construction="serial"`` and once with ``construction="parallel"`` --
+asserts the two indexes are **entry-wise identical** (node numbering, tau,
+``STLLabels.differences() == []``), and records the wall-clock breakdown of
+both pipelines (hierarchy seconds vs label seconds vs worker count).
+
+Writes the measurement as JSON (schema ``repro-perf-build/1``)::
+
+    {
+      "schema": "repro-perf-build/1",
+      "requested_vertices": 10000, "seed": 2025, "leaf_size": 32,
+      "num_vertices": ..., "num_edges": ...,
+      "python": "3.11.7", "numpy": "2.4.6" | null,
+      "cpu_count": ...,              # os.cpu_count() on the machine that ran
+      "workers": 4,                  # builder pool size requested
+      "serial":   {"total_seconds", "hierarchy_seconds", "label_seconds",
+                   "workers", "label_entries"},
+      "parallel": {same keys},
+      "speedup": serial_total / parallel_total,
+      "labels_equal": true           # always true -- the script asserts it
+    }
+
+With ``--check BASELINE`` the script exits non-zero if the **serial** build
+regressed more than ``--threshold`` x against the committed baseline
+(``benchmarks/baseline_build.json``).  The gate keys on the serial series
+only: it has no pool scheduling in it, so a >2x change is an algorithmic
+regression, not a loaded runner.  The parallel series (and the speedup) are
+recorded as a trajectory -- their wall-clocks depend on the runner's core
+count, which the JSON records honestly via ``cpu_count``.
+
+Regenerate the baseline after an intentional perf change with::
+
+    PYTHONPATH=src python benchmarks/perf_build.py --write-baseline \
+        benchmarks/baseline_build.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+from repro.core.construction import build_index
+from repro.core.kernels import HAS_NUMPY
+from repro.graph.generators import highway_grid_network
+from repro.hierarchy.builder import HierarchyOptions
+from repro.utils.timer import Timer
+
+SCHEMA = "repro-perf-build/1"
+
+
+def measure_build(graph, options, construction: str, max_workers: int | None) -> tuple:
+    """One timed build; returns ``(hierarchy, labels, series_dict)``."""
+    timer = Timer()
+    with timer.measure():
+        hierarchy, labels, report = build_index(
+            graph, options, construction=construction, max_workers=max_workers
+        )
+    series = {
+        "total_seconds": timer.elapsed,
+        "hierarchy_seconds": report.hierarchy_seconds,
+        "label_seconds": report.label_seconds,
+        "workers": report.workers,
+        "label_entries": labels.num_entries(),
+    }
+    return hierarchy, labels, series
+
+
+def run_build_bench(num_vertices: int, seed: int, leaf_size: int, workers: int) -> dict:
+    """Serial and parallel builds of one graph, with the equality assert."""
+    graph = highway_grid_network(num_vertices, seed=seed)
+    options = HierarchyOptions(leaf_size=leaf_size)
+
+    serial_h, serial_l, serial = measure_build(graph, options, "serial", None)
+    parallel_h, parallel_l, parallel = measure_build(graph, options, "parallel", workers)
+
+    # The whole point of the parallel pipeline is that it is a pure
+    # wall-clock optimisation: identical tau, identical entries.
+    if list(serial_h.tau) != list(parallel_h.tau):
+        raise AssertionError("parallel build produced a different tau than serial")
+    diffs = serial_l.differences(parallel_l)
+    if diffs:
+        raise AssertionError(
+            f"parallel labels differ from serial in {len(diffs)} entries: {diffs[:5]}"
+        )
+
+    return {
+        "schema": SCHEMA,
+        "requested_vertices": num_vertices,
+        "seed": seed,
+        "leaf_size": leaf_size,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "python": platform.python_version(),
+        "numpy": _numpy_version(),
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": (
+            serial["total_seconds"] / parallel["total_seconds"]
+            if parallel["total_seconds"] > 0
+            else float("inf")
+        ),
+        "labels_equal": True,
+    }
+
+
+def _numpy_version() -> str | None:
+    if not HAS_NUMPY:
+        return None
+    import numpy
+
+    return numpy.__version__
+
+
+def check_against_baseline(result: dict, baseline_path: Path, threshold: float) -> int:
+    """Return a process exit code: 0 within budget, 1 on regression."""
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    if baseline.get("schema") != SCHEMA:
+        print(f"baseline {baseline_path} has schema {baseline.get('schema')!r}, "
+              f"expected {SCHEMA!r}")
+        return 1
+    reference = baseline["serial"]["total_seconds"]
+    measured = result["serial"]["total_seconds"]
+    ratio = measured / reference if reference > 0 else float("inf")
+    verdict = "OK" if ratio <= threshold else "REGRESSION"
+    print(f"serial build: {measured:.3f}s vs baseline {reference:.3f}s "
+          f"(x{ratio:.2f}, budget x{threshold:.1f}) -> {verdict}")
+    return 0 if ratio <= threshold else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--vertices", type=int, default=10_000,
+                        help="highway_grid_network size (default 10000)")
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--leaf-size", type=int, default=32,
+                        help="hierarchy leaf size (default 32)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="builder pool size for the parallel build (default 4)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the measurement JSON here (e.g. BENCH_build.json)")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="baseline JSON to gate the serial build against")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="allowed serial-build slowdown factor (default 2.0)")
+    parser.add_argument("--write-baseline", type=Path, default=None,
+                        help="write the measurement as the new committed baseline")
+    args = parser.parse_args(argv)
+
+    result = run_build_bench(args.vertices, args.seed, args.leaf_size, args.workers)
+    for key in ("serial", "parallel"):
+        row = result[key]
+        print(f"{key:>8}: total {row['total_seconds']:.3f}s  "
+              f"(hierarchy {row['hierarchy_seconds']:.3f}s, "
+              f"labels {row['label_seconds']:.3f}s, workers {row['workers']})")
+    print(f"speedup: x{result['speedup']:.2f} with {result['workers']} workers "
+          f"on {result['cpu_count']} CPU(s); labels entry-wise equal")
+
+    for target in (args.out, args.write_baseline):
+        if target is not None:
+            target.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+            print(f"wrote {target}")
+
+    if args.check is not None:
+        return check_against_baseline(result, args.check, args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,6 +121,60 @@ def dijkstra_rank_restricted(
     return dist
 
 
+def dijkstra_rank_restricted_into(
+    adjacency: Sequence[Sequence[tuple[int, float]]],
+    source: int,
+    rank: Sequence[int],
+    entries: Sequence[float],
+    offsets: Sequence[int],
+    label_index: int,
+    min_rank: int | None = None,
+) -> int:
+    """Rank-restricted Dijkstra writing distances straight into a CSR buffer.
+
+    The label-construction variant of :func:`dijkstra_rank_restricted`: each
+    vertex ``x`` it settles gets ``entries[offsets[x] + label_index]`` set to
+    its distance, *at settle time*, instead of the search materialising a
+    ``{vertex: distance}`` dict that the caller then iterates a second time.
+    A vertex is settled exactly once (pushes are strict improvements, so of
+    all heap entries for ``x`` only the smallest survives the staleness
+    gate), so every entry is written exactly once and the write happens while
+    the vertex is cache-hot from the pop.
+
+    ``entries`` may be a private ``array('d')`` or a ``'d'``-format
+    ``memoryview`` over a ``multiprocessing.shared_memory`` segment -- the
+    parallel construction workers pass the latter, which is what lets them
+    build labels with zero result pickling.  Returns the number of entries
+    written (``|Desc(source)|`` reachable vertices, source included).
+    """
+    threshold = rank[source] if min_rank is None else min_rank
+    dist: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    # Local bindings: the relaxation loop runs once per edge per settled
+    # vertex, so even the global-name lookups of ``heappush``/``math.isinf``
+    # are measurable at road-network scale.
+    get = dist.get
+    push = heappush
+    pop = heappop
+    isinf = math.isinf
+    inf = UNREACHABLE
+    written = 0
+    while heap:
+        d, v = pop(heap)
+        if d > get(v, inf):
+            continue
+        entries[offsets[v] + label_index] = d  # type: ignore[index]
+        written += 1
+        for nbr, weight in adjacency[v]:
+            if isinf(weight) or rank[nbr] < threshold:
+                continue
+            nd = d + weight
+            if nd < get(nbr, inf):
+                dist[nbr] = nd
+                push(heap, (nd, nbr))
+    return written
+
+
 def dijkstra_subset(
     graph: Graph,
     source: int,

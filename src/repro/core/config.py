@@ -19,6 +19,8 @@ kernel     query kernel for ``batch_query``            ``None`` / ``"scalar"``
                                                        / ``"vector"``
 policy     crossover thresholds                        a :class:`BatchPolicy`
                                                        or ``None``
+construction  index build pipeline                     ``None`` / ``"serial"``
+                                                       / ``"parallel"``
 ========== =========================================== ====================
 
 ``None`` always means "let the measured crossovers decide" -- the same
@@ -47,6 +49,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.batch import BatchPolicy, normalize_engine
+from repro.core.construction import normalize_construction
 from repro.core.kernels import normalize_kernel
 from repro.core.shard import normalize_parallel
 from repro.utils.errors import ConfigError
@@ -68,6 +71,7 @@ class STLConfig:
     engine: str | None = None
     kernel: str | None = None
     policy: BatchPolicy | None = None
+    construction: str | None = None
 
     def __post_init__(self) -> None:
         # One shared validator: the same normalizers the per-call kwargs
@@ -86,6 +90,10 @@ class STLConfig:
             raise ConfigError(
                 f"policy must be a BatchPolicy or None, got {type(self.policy).__name__}"
             )
+        # ``construction`` picks the index build pipeline (serial recursion
+        # vs the process-parallel shared-memory builder); ``None`` defers to
+        # the instance-size/CPU-count heuristic at build time.
+        normalize_construction(self.construction)
 
     @property
     def maintenance(self) -> str:
@@ -106,7 +114,7 @@ class STLConfig:
         """Compact human-readable summary (used by service stats/logs)."""
         parts = [
             f"{name}={getattr(self, name)!r}"
-            for name in ("backend", "engine", "kernel")
+            for name in ("backend", "engine", "kernel", "construction")
             if getattr(self, name) is not None
         ]
         if self.policy is not None:

@@ -40,6 +40,7 @@ segment that has been unmapped.
 from __future__ import annotations
 
 import math
+import struct
 from array import array
 from typing import TYPE_CHECKING, Any, Sequence
 
@@ -395,3 +396,62 @@ def interval_hit_levels(
         mask = _np.isfinite(root) & _np.isfinite(row)
         mask &= _np.abs((d + root) - row) <= MARK_SLACK * _np.maximum(1.0, row)
     return [int(i) + lo for i in _np.nonzero(mask)[0]]
+
+
+# --------------------------------------------------------------------------- #
+# Construction kernels (the parallel builder of repro.core.construction)
+# --------------------------------------------------------------------------- #
+
+#: ``struct.pack('d', inf)``, repeated to fill buffers without numpy.  4096
+#: doubles per memcpy keeps the pure-Python loop at ~n/4096 iterations.
+_INF_CHUNK = struct.pack("=d", math.inf) * 4096
+
+
+def fill_unreachable(view: memoryview) -> None:
+    """Fill a ``'d'``-format buffer with ``inf`` (the UNREACHABLE sentinel).
+
+    The parallel builder pre-sizes one shared-memory segment for the whole
+    CSR entries buffer and must initialise every slot before workers start
+    writing their disjoint label indexes into it.  With numpy this is one
+    C-level ``fill`` over a zero-copy view; without it, repeated slabs of
+    pre-packed ``inf`` bytes -- both fill tens of millions of entries in
+    milliseconds, where a per-entry Python loop would take longer than the
+    Dijkstras it prepares for.
+    """
+    if HAS_NUMPY:
+        _np.frombuffer(view, dtype=_np.float64).fill(math.inf)
+        return
+    raw = view.cast("B")
+    nbytes = len(raw)
+    chunk = len(_INF_CHUNK)
+    for lo in range(0, nbytes - nbytes % chunk, chunk):
+        raw[lo : lo + chunk] = _INF_CHUNK
+    rest = nbytes % chunk
+    if rest:
+        raw[nbytes - rest :] = _INF_CHUNK[:rest]
+
+
+def adjacency_csr(graph: Any) -> tuple[Any, Any, Any] | None:
+    """CSR ndarray mirror of a graph's adjacency: ``(indptr, neighbors, weights)``.
+
+    Row ``v`` is ``neighbors[indptr[v]:indptr[v+1]]`` with parallel edge
+    weights.  Used by the parallel builder's vectorised per-root adjacency
+    scans -- which only engage when some row spans at least
+    :data:`VECTOR_MIN_SPAN` neighbours, so bounded-degree road networks stay
+    on the scalar search where the numpy call overhead would lose.  Returns
+    ``None`` without numpy.
+    """
+    if not HAS_NUMPY:
+        return None
+    adjacency = graph.adjacency()
+    indptr = _np.zeros(len(adjacency) + 1, dtype=_np.int64)
+    for v, row in enumerate(adjacency):
+        indptr[v + 1] = indptr[v] + len(row)
+    neighbors = _np.empty(int(indptr[-1]), dtype=_np.int64)
+    weights = _np.empty(int(indptr[-1]), dtype=_np.float64)
+    for v, row in enumerate(adjacency):
+        base = int(indptr[v])
+        for k, (nbr, weight) in enumerate(row):
+            neighbors[base + k] = nbr
+            weights[base + k] = weight
+    return indptr, neighbors, weights

@@ -31,7 +31,10 @@ import math
 from array import array
 from typing import Any, Iterable, Iterator, Sequence
 
-from repro.algorithms.dijkstra import dijkstra_rank_restricted
+from repro.algorithms.dijkstra import (
+    dijkstra_rank_restricted,
+    dijkstra_rank_restricted_into,
+)
 from repro.graph.graph import Graph
 from repro.hierarchy.tree import StableTreeHierarchy
 from repro.utils.errors import LabellingError
@@ -415,7 +418,11 @@ def build_labels(graph: Graph, hierarchy: StableTreeHierarchy) -> STLLabels:
     first) a rank-restricted Dijkstra computes the distances from ``r`` to
     every vertex of ``G[Desc(r)]``; those distances become the entries at
     label index ``tau(r)`` in the labels of the reached vertices.  Entries
-    are written straight into the flat CSR buffer.
+    are written straight into the flat CSR buffer *at settle time*
+    (:func:`~repro.algorithms.dijkstra.dijkstra_rank_restricted_into`) --
+    the search never materialises a per-root distance dict that would then
+    be iterated a second time, which cuts measurable per-root overhead at
+    paper scale (see BENCH_pr10.json for the serial-path numbers).
     """
     if hierarchy.num_vertices != graph.num_vertices:
         raise LabellingError(
@@ -423,18 +430,27 @@ def build_labels(graph: Graph, hierarchy: StableTreeHierarchy) -> STLLabels:
             f"graph has {graph.num_vertices}"
         )
     tau = hierarchy.tau
+    offsets = label_offsets(tau)
+    entries = array("d", [UNREACHABLE]) * offsets[-1]
+    adjacency = graph.adjacency()
+    for r in hierarchy.vertices_in_label_order():
+        dijkstra_rank_restricted_into(adjacency, r, tau, entries, offsets, tau[r])
+    return STLLabels.from_flat(entries, offsets)
+
+
+def label_offsets(tau: Sequence[int]) -> array:
+    """The CSR offsets array implied by ``tau``: row ``v`` holds ``tau[v] + 1`` entries.
+
+    Shared by the serial build above and the parallel builder
+    (:mod:`repro.core.construction`), which pre-sizes its shared-memory
+    segment from ``offsets[-1]`` before any worker starts.
+    """
     offsets = array("q", [0])
     total = 0
-    for v in range(graph.num_vertices):
-        total += tau[v] + 1
+    for t in tau:
+        total += t + 1
         offsets.append(total)
-    entries = array("d", [UNREACHABLE]) * total
-    for r in hierarchy.vertices_in_label_order():
-        index = tau[r]
-        distances = dijkstra_rank_restricted(graph, r, tau)
-        for x, d in distances.items():
-            entries[offsets[x] + index] = d
-    return STLLabels.from_flat(entries, offsets)
+    return offsets
 
 
 def rebuild_labels_for_vertex(

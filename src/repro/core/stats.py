@@ -22,6 +22,13 @@ class IndexStats:
     memory: MemoryEstimate
     tree_height: int
     construction_seconds: float
+    #: Construction-time breakdown (PR 10): wall-clock of the hierarchy and
+    #: label phases and the number of builder worker processes (0 = serial
+    #: build).  Defaulted so the baseline indexes -- which have no two-phase
+    #: build -- keep constructing stats positionally.
+    hierarchy_seconds: float = 0.0
+    label_seconds: float = 0.0
+    construction_workers: int = 0
 
     @property
     def bytes_total(self) -> int:

@@ -36,13 +36,14 @@ from repro.core.label_search import (
     LabelSearchIncrease,
     MaintenanceStats,
 )
+from repro.core.construction import build_index
 from repro.core.labelling import STLLabels, build_labels
 from repro.core.pareto_search import ParetoSearchDecrease, ParetoSearchIncrease
 from repro.core.query import batch_query, query_distance, query_with_hub
 from repro.core.stats import IndexStats
 from repro.graph.graph import Graph
 from repro.graph.updates import EdgeUpdate, UpdateBatch, UpdateKind
-from repro.hierarchy.builder import HierarchyOptions, build_hierarchy
+from repro.hierarchy.builder import BuildReport, HierarchyOptions
 from repro.hierarchy.tree import StableTreeHierarchy
 from repro.utils.errors import ConfigError, UpdateError
 from repro.utils.memory import MemoryEstimate
@@ -85,11 +86,15 @@ class StableTreeLabelling:
         construction_seconds: float = 0.0,
         batch_policy: BatchPolicy | None = None,
         config: STLConfig | None = None,
+        build_report: BuildReport | None = None,
     ):
         self.graph = graph
         self.hierarchy = hierarchy
         self.labels = labels
         self.construction_seconds = construction_seconds
+        #: Construction diagnostics + phase timing breakdown; ``None`` for
+        #: indexes assembled from pre-built parts (deserialisation).
+        self.build_report = build_report
         self.config = config or DEFAULT_CONFIG
         self.batch_policy = batch_policy or self.config.policy or BatchPolicy()
         self._close_pending = False
@@ -105,21 +110,39 @@ class StableTreeLabelling:
         graph: Graph,
         options: HierarchyOptions | None = None,
         maintenance: MaintenanceMode = "pareto",
+        *,
+        construction: str | None = None,
+        max_workers: int | None = None,
     ) -> "StableTreeLabelling":
-        """Build the index: stable tree hierarchy + subgraph-distance labels."""
+        """Build the index: stable tree hierarchy + subgraph-distance labels.
+
+        ``construction`` selects the build pipeline: ``"serial"`` (the
+        in-process recursion), ``"parallel"`` (the process-parallel
+        shared-memory builder of :mod:`repro.core.construction`, with
+        ``max_workers`` capping its pool) or ``None`` to decide from the
+        instance size and CPU count.  Both pipelines produce entry-wise
+        identical hierarchies and labels; the resolved mode and the
+        per-phase timing land in :attr:`build_report`.
+        """
         timer = Timer()
         with timer.measure():
-            hierarchy = build_hierarchy(graph, options)
-            labels = build_labels(graph, hierarchy)
-        return cls(graph, hierarchy, labels, maintenance, timer.elapsed)
+            hierarchy, labels, report = build_index(
+                graph, options, construction=construction, max_workers=max_workers
+            )
+        return cls(graph, hierarchy, labels, maintenance, timer.elapsed, build_report=report)
 
     def rebuild(self, options: HierarchyOptions | None = None) -> "StableTreeLabelling":
         """Construct a fresh index on the current graph (Figure 10 baseline).
 
         The fresh index inherits this one's :class:`STLConfig` and batch
-        policy.
+        policy -- including the config's construction-mode selection.
         """
-        fresh = StableTreeLabelling.build(self.graph, options, self._maintenance_mode)
+        fresh = StableTreeLabelling.build(
+            self.graph,
+            options,
+            self._maintenance_mode,
+            construction=self.config.construction,
+        )
         fresh.config = self.config
         fresh.batch_policy = self.batch_policy
         return fresh
@@ -525,7 +548,14 @@ class StableTreeLabelling:
     # ------------------------------------------------------------------ #
 
     def stats(self) -> IndexStats:
-        """Size statistics of this index (Table 4 row)."""
+        """Size statistics of this index (Table 4 row).
+
+        When the index was built through :meth:`build` /
+        :func:`open_network`, the stats carry the construction-time
+        breakdown from the :class:`~repro.hierarchy.builder.BuildReport`:
+        hierarchy seconds vs label seconds vs builder worker count.
+        """
+        report = self.build_report
         return IndexStats(
             method=f"STL ({self._maintenance_mode})",
             num_vertices=self.graph.num_vertices,
@@ -533,6 +563,9 @@ class StableTreeLabelling:
             memory=MemoryEstimate(distance_entries=self.labels.num_entries()),
             tree_height=self.hierarchy.height,
             construction_seconds=self.construction_seconds,
+            hierarchy_seconds=report.hierarchy_seconds if report else 0.0,
+            label_seconds=report.label_seconds if report else 0.0,
+            construction_workers=report.workers if report else 0,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
@@ -565,13 +598,17 @@ def open_network(
     choice deferred to the measured crossovers.  ``options`` tunes the
     hierarchy construction exactly as :meth:`StableTreeLabelling.build`
     does.  The maintenance algorithm family follows the config's engine
-    selection (:attr:`STLConfig.maintenance`).
+    selection (:attr:`STLConfig.maintenance`), and the build pipeline
+    follows ``config.construction`` (``"parallel"`` routes through the
+    process-parallel shared-memory builder of
+    :mod:`repro.core.construction`).
     """
     cfg = config or DEFAULT_CONFIG
     timer = Timer()
     with timer.measure():
-        hierarchy = build_hierarchy(graph, options)
-        labels = build_labels(graph, hierarchy)
+        hierarchy, labels, report = build_index(
+            graph, options, construction=cfg.construction
+        )
     return StableTreeLabelling(
         graph,
         hierarchy,
@@ -579,4 +616,5 @@ def open_network(
         cfg.maintenance,  # type: ignore[arg-type]
         timer.elapsed,
         config=cfg,
+        build_report=report,
     )

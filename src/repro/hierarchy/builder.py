@@ -64,12 +64,24 @@ class HierarchyOptions:
 
 @dataclass
 class BuildReport:
-    """Diagnostics collected while building a hierarchy."""
+    """Diagnostics collected while building a hierarchy.
+
+    The timing fields cover the whole index construction, not only the
+    hierarchy phase: :func:`repro.core.construction.build_index` fills
+    ``hierarchy_seconds`` / ``label_seconds`` with the measured wall-clock
+    of the two phases, ``construction`` with the resolved mode
+    (``"serial"`` or ``"parallel"``) and ``workers`` with the number of
+    worker processes the parallel builder used (0 for serial builds).
+    """
 
     num_nodes: int = 0
     num_leaves: int = 0
     max_separator: int = 0
     balance_violations: int = 0
+    hierarchy_seconds: float = 0.0
+    label_seconds: float = 0.0
+    workers: int = 0
+    construction: str = "serial"
 
     def record(self, bisection: Bisection, is_leaf: bool, balanced: bool) -> None:
         self.num_nodes += 1
@@ -78,6 +90,13 @@ class BuildReport:
         self.max_separator = max(self.max_separator, len(bisection.separator))
         if not balanced:
             self.balance_violations += 1
+
+    def merge(self, other: "BuildReport") -> None:
+        """Fold a subtree build's counters into this report (timings untouched)."""
+        self.num_nodes += other.num_nodes
+        self.num_leaves += other.num_leaves
+        self.max_separator = max(self.max_separator, other.max_separator)
+        self.balance_violations += other.balance_violations
 
 
 def build_hierarchy(
@@ -100,15 +119,8 @@ def build_hierarchy_with_report(
     if graph.num_vertices == 0:
         return hierarchy, report
 
-    _build_recursive(
-        graph,
-        list(graph.vertices()),
-        parent=-1,
-        is_right=False,
-        hierarchy=hierarchy,
-        options=options,
-        report=report,
-    )
+    nodes = build_subtree(graph, list(graph.vertices()), options, report)
+    graft_subtree(hierarchy, nodes)
     hierarchy.finalize()
     return hierarchy, report
 
@@ -120,19 +132,55 @@ def _order_vertices(graph: Graph, vertices: Sequence[int], mode: str) -> list[in
     return sorted(vertices)
 
 
-def _build_recursive(
+#: One node of a detached subtree build: ``(parent_local, is_right,
+#: ordered_vertices)`` where ``parent_local`` indexes the subtree's own node
+#: list (-1 for the subtree root).  Nodes are listed in DFS preorder (node
+#: before its children, left child's subtree before the right's) -- exactly
+#: the order :meth:`StableTreeHierarchy.add_node` numbers nodes in, which is
+#: what lets :func:`graft_subtree` replay a detached build with the same node
+#: ids the attached recursion would have produced.
+SubtreeNode = tuple[int, bool, list[int]]
+
+
+def build_subtree(
     graph: Graph,
     vertices: list[int],
-    parent: int,
+    options: HierarchyOptions,
+    report: BuildReport | None = None,
+) -> list[SubtreeNode]:
+    """Build one hierarchy subtree over ``vertices``, detached from any tree.
+
+    This is the whole recursive construction, expressed over local node
+    records instead of a live :class:`StableTreeHierarchy`: the serial build
+    runs it once over every vertex and grafts the result at the root, and
+    the parallel builder (:mod:`repro.core.construction`) fans independent
+    post-bisection vertex sets out to worker processes, each running this
+    same function -- one code path, so the parallel build cannot drift from
+    the serial numbering.  ``report`` collects the usual build diagnostics
+    (workers pass a fresh one and ship it back for merging).
+    """
+    if report is None:
+        report = BuildReport()
+    nodes: list[SubtreeNode] = []
+    _build_local(graph, vertices, -1, False, nodes, options, report)
+    return nodes
+
+
+def _build_local(
+    graph: Graph,
+    vertices: list[int],
+    parent_local: int,
     is_right: bool,
-    hierarchy: StableTreeHierarchy,
+    nodes: list[SubtreeNode],
     options: HierarchyOptions,
     report: BuildReport,
 ) -> None:
-    node = hierarchy.add_node(parent, is_right)
+    local = len(nodes)
 
     if len(vertices) <= options.leaf_size:
-        hierarchy.assign_vertices(node, _order_vertices(graph, vertices, options.order_within_node))
+        nodes.append(
+            (parent_local, is_right, _order_vertices(graph, vertices, options.order_within_node))
+        )
         report.record(Bisection([], list(vertices), []), is_leaf=True, balanced=True)
         return
 
@@ -144,7 +192,9 @@ def _build_recursive(
     if not bisection.left or not bisection.right:
         # The partitioner could not split the set (e.g. a dense blob smaller
         # than any balanced cut); store everything in a single leaf node.
-        hierarchy.assign_vertices(node, _order_vertices(graph, vertices, options.order_within_node))
+        nodes.append(
+            (parent_local, is_right, _order_vertices(graph, vertices, options.order_within_node))
+        )
         report.record(bisection, is_leaf=True, balanced=True)
         return
 
@@ -156,8 +206,32 @@ def _build_recursive(
         )
     report.record(bisection, is_leaf=False, balanced=balanced)
 
-    hierarchy.assign_vertices(
-        node, _order_vertices(graph, bisection.separator, options.order_within_node)
-    )
-    _build_recursive(graph, bisection.left, node.index, False, hierarchy, options, report)
-    _build_recursive(graph, bisection.right, node.index, True, hierarchy, options, report)
+    separator = _order_vertices(graph, bisection.separator, options.order_within_node)
+    nodes.append((parent_local, is_right, separator))
+    _build_local(graph, bisection.left, local, False, nodes, options, report)
+    _build_local(graph, bisection.right, local, True, nodes, options, report)
+
+
+def graft_subtree(
+    hierarchy: StableTreeHierarchy,
+    nodes: Sequence[SubtreeNode],
+    parent: int = -1,
+    is_right: bool = False,
+) -> None:
+    """Graft a detached subtree build under ``parent`` of ``hierarchy``.
+
+    Replays the subtree's preorder node list through
+    :meth:`StableTreeHierarchy.add_node` / ``assign_vertices``; because the
+    list is in preorder, every local parent has already been grafted (and
+    assigned its vertices, so prefix counts cascade correctly) by the time
+    its children arrive.  Called in serial DFS order over the subproblems,
+    this reproduces the attached recursion's node ids and ``tau`` exactly.
+    """
+    real = [0] * len(nodes)
+    for local, (parent_local, right, ordered) in enumerate(nodes):
+        if parent_local < 0:
+            node = hierarchy.add_node(parent, is_right)
+        else:
+            node = hierarchy.add_node(real[parent_local], right)
+        real[local] = node.index
+        hierarchy.assign_vertices(node, ordered)

@@ -43,6 +43,7 @@ from __future__ import annotations
 import asyncio
 import math
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Iterable
 
@@ -120,6 +121,13 @@ class QueryService:
         self._fallback_queries = 0
         self._batches_committed = 0
         self._updates_committed = 0
+        #: Wall-clock of the background build (the fallback-tier window) and
+        #: its phase breakdown -- a parallel construction config shortens the
+        #: window, measurably so through these counters.
+        self._build_seconds = 0.0
+        self._build_hierarchy_seconds = 0.0
+        self._build_label_seconds = 0.0
+        self._build_workers = 0
 
     # ------------------------------------------------------------------ #
     # Life cycle
@@ -209,11 +217,17 @@ class QueryService:
         the batches the fresh index must replay to catch up.
         """
         loop = asyncio.get_running_loop()
+        started = time.perf_counter()
         with ThreadPoolExecutor(1, thread_name_prefix="stl-build") as pool:
             stl = await loop.run_in_executor(
                 pool,
                 lambda: open_network(base, config=self.config, options=self._options),
             )
+        self._build_seconds = time.perf_counter() - started
+        if stl.build_report is not None:
+            self._build_hierarchy_seconds = stl.build_report.hierarchy_seconds
+            self._build_label_seconds = stl.build_report.label_seconds
+            self._build_workers = stl.build_report.workers
         future: asyncio.Future[int] = loop.create_future()
         assert self._queue is not None
         self._queue.put_nowait(("adopt", stl, future))
@@ -488,6 +502,10 @@ class QueryService:
             "batches_committed": self._batches_committed,
             "updates_committed": self._updates_committed,
             "active_readers": 0 if snap is None else snap.readers,
+            "build_seconds": self._build_seconds,
+            "build_hierarchy_seconds": self._build_hierarchy_seconds,
+            "build_label_seconds": self._build_label_seconds,
+            "build_workers": self._build_workers,
         }
 
 
